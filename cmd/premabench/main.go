@@ -1,0 +1,94 @@
+// Command premabench regenerates the paper's evaluation: every figure and
+// table has a registered experiment that reruns its workloads against the
+// simulator and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	premabench                    # run every experiment
+//	premabench -exp fig12,fig13   # run selected experiments
+//	premabench -list              # list experiment IDs
+//	premabench -runs 10           # override the per-config run count
+//	premabench -csv results/      # additionally write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		expFlag = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		runs    = flag.Int("runs", 0, "simulation runs per configuration (default 25)")
+		seed    = flag.Uint64("seed", 0, "workload seed (default: suite default)")
+		csvDir  = flag.String("csv", "", "directory to write per-table CSV files")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	suite, err := exp.NewSuite()
+	if err != nil {
+		fatal(err)
+	}
+	if *runs > 0 {
+		suite.Runs = *runs
+	}
+	if *seed != 0 {
+		suite.Seed = *seed
+	}
+
+	var selected []exp.Experiment
+	if *expFlag == "" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(suite)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "premabench:", err)
+	os.Exit(1)
+}

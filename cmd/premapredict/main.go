@@ -1,0 +1,82 @@
+// Command premapredict exercises PREMA's inference-time prediction model
+// (Algorithm 1 plus the seq2seq length regression): it predicts a model
+// instance's network-wide latency, simulates it, and reports the error.
+//
+// Usage:
+//
+//	premapredict -model CNN-VN -batch 4
+//	premapredict -model RNN-MT2 -batch 1 -inlen 30 -samples 20
+//	premapredict -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/dnn"
+	"repro/internal/npu"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "", "workload label (see premazoo); empty with -all sweeps the suite")
+		batch     = flag.Int("batch", 1, "batch size")
+		samples   = flag.Int("samples", 10, "sampled instances per model (RNN lengths vary)")
+		all       = flag.Bool("all", false, "sweep the whole benchmark suite")
+	)
+	flag.Parse()
+
+	cfg := npu.DefaultConfig()
+	gen, err := workload.NewGenerator(cfg, 0xA11CE)
+	if err != nil {
+		fatal(err)
+	}
+
+	var models []*dnn.Model
+	if *all || *modelName == "" {
+		models = dnn.Suite()
+	} else {
+		m, err := dnn.ByName(*modelName)
+		if err != nil {
+			fatal(err)
+		}
+		models = []*dnn.Model{m}
+	}
+
+	fmt.Printf("%-10s %-5s %-9s %-12s %-12s %-8s\n",
+		"model", "batch", "inLen", "predicted", "simulated", "error")
+	for _, m := range models {
+		var errSum float64
+		for i := 0; i < *samples; i++ {
+			rng := workload.RNGFor(0x9ced, i)
+			task, err := gen.Instance(0, m, *batch, sched.Medium, 0, nil, rng)
+			if err != nil {
+				fatal(err)
+			}
+			pred := cfg.Millis(task.EstimatedCycles)
+			act := cfg.Millis(task.IsolatedCycles)
+			e := math.Abs(pred-act) / act
+			errSum += e
+			if i == 0 || m.IsRNN() {
+				fmt.Printf("%-10s b%-4d %-9d %-12.3f %-12.3f %-8.2f%%\n",
+					m.Name, *batch, task.InLen, pred, act, e*100)
+			}
+			if !m.IsRNN() {
+				break // CNNs are deterministic; one sample suffices
+			}
+		}
+		if m.IsRNN() {
+			fmt.Printf("%-10s b%-4d %-9s %-12s %-12s avg %.2f%%\n",
+				m.Name, *batch, "-", "-", "-", errSum/float64(*samples)*100)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "premapredict:", err)
+	os.Exit(1)
+}

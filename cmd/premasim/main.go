@@ -1,0 +1,179 @@
+// Command premasim runs one multi-tenant NPU simulation and prints the
+// per-task outcomes, the Equation 1-2 metrics, preemption statistics and
+// an ASCII occupancy timeline (a Figure 2-style view).
+//
+// Usage:
+//
+//	premasim -policy PREMA -preemptive -mechanism dynamic -tasks 8 -seed 3
+//	premasim -policy FCFS -tasks 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dnn"
+	"repro/internal/metrics"
+	"repro/internal/npu"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "PREMA", "scheduling policy: FCFS|RRB|HPF|TOKEN|SJF|PREMA")
+		preemptive = flag.Bool("preemptive", false, "enable the preemptible-NPU path")
+		mechanism  = flag.String("mechanism", "dynamic",
+			"preemption mechanism selector: static-checkpoint|static-kill|static-drain|dynamic|dynamic-kill")
+		nTasks   = flag.Int("tasks", 8, "number of co-scheduled inference tasks")
+		seed     = flag.Int("seed", 1, "workload seed (run index)")
+		windowMS = flag.Int("window", 20, "arrival window in milliseconds")
+		batch    = flag.Int("batch", 0, "fix all batch sizes (0 = mixed 1/4/16)")
+		oracle   = flag.Bool("oracle", false, "use exact execution times as estimates")
+		timeline = flag.Bool("timeline", true, "render the ASCII occupancy timeline")
+		quantum  = flag.Duration("quantum", 250*time.Microsecond, "scheduling period time-quota")
+		npus     = flag.Int("npus", 1, "NPUs in the node (>1 enables the cluster router)")
+		routing  = flag.String("routing", "least-work",
+			"cluster routing policy: round-robin|least-queued|least-work")
+	)
+	flag.Parse()
+
+	cfg := npu.DefaultConfig()
+	scfg := sched.DefaultConfig()
+	scfg.Quantum = *quantum
+
+	gen, err := workload.NewGenerator(cfg, 0xA11CE)
+	if err != nil {
+		fatal(err)
+	}
+	spec := workload.Spec{
+		Tasks:         *nTasks,
+		ArrivalWindow: time.Duration(*windowMS) * time.Millisecond,
+	}
+	if *batch > 0 {
+		spec.BatchSizes = []int{*batch}
+	}
+	if *oracle {
+		spec.Estimator = workload.Oracle()
+	}
+	tasks, err := gen.Generate(spec, workload.RNGFor(0xBEEF, *seed))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *npus > 1 {
+		runCluster(cfg, scfg, tasks, *npus, *routing, *policyName, *preemptive, *mechanism)
+		return
+	}
+
+	policy, err := sched.ByName(*policyName, scfg)
+	if err != nil {
+		fatal(err)
+	}
+	var selector sched.MechanismSelector
+	if *preemptive {
+		if selector, err = sched.SelectorByName(*mechanism); err != nil {
+			fatal(err)
+		}
+	}
+	simulator, err := sim.New(sim.Options{
+		NPU: cfg, Sched: scfg,
+		Policy: policy, Preemptive: *preemptive, Selector: selector,
+	}, workload.SchedTasks(tasks))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("policy=%s preemptive=%v mechanism=%s tasks=%d makespan=%.2fms wakes=%d preemptions=%d\n\n",
+		*policyName, *preemptive, selName(selector), *nTasks,
+		cfg.Millis(res.Cycles), res.Wakes, countRealPreemptions(res))
+
+	fmt.Printf("%-4s %-8s %-4s %-8s %-10s %-10s %-10s %-8s %-6s\n",
+		"id", "model", "bat", "prio", "arrive(ms)", "isolated", "turnaround", "NTT", "preempt")
+	for _, t := range res.Tasks {
+		fmt.Printf("%-4d %-8s b%-3d %-8s %-10.2f %-10.2f %-10.2f %-8.2f %-6d\n",
+			t.ID, t.Model, t.Batch, t.Priority,
+			cfg.Millis(t.Arrival), cfg.Millis(t.IsolatedCycles),
+			cfg.Millis(t.Turnaround()), t.NTT(), t.Preemptions)
+	}
+
+	m, err := metrics.FromTasks(res.Tasks)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nANTT=%.2f  STP=%.2f  fairness=%.3f  SLA@4x=%.0f%%  SLA@8x=%.0f%%\n",
+		m.ANTT, m.STP, m.Fairness,
+		metrics.SLAViolationRate(res.Tasks, 4)*100,
+		metrics.SLAViolationRate(res.Tasks, 8)*100)
+
+	if *timeline {
+		fmt.Println()
+		fmt.Print(res.Timeline.Render(cfg, 100))
+	}
+	_ = dnn.BatchSizes
+}
+
+// runCluster drives the multi-NPU node path.
+func runCluster(cfg npu.Config, scfg sched.Config, tasks []*workload.Task,
+	npus int, routing, policy string, preemptive bool, mechanism string) {
+
+	var rp cluster.RoutingPolicy
+	switch routing {
+	case "round-robin":
+		rp = cluster.RoundRobin
+	case "least-queued":
+		rp = cluster.LeastQueued
+	case "least-work":
+		rp = cluster.LeastWork
+	default:
+		fatal(fmt.Errorf("unknown routing policy %q", routing))
+	}
+	res, err := cluster.Run(cluster.Options{
+		NPUs: npus, Routing: rp,
+		NPU: cfg, Sched: scfg,
+		LocalPolicy: policy, Preemptive: preemptive, Selector: mechanism,
+	}, tasks)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("node: %d NPUs, %s routing, local %s (preemptive=%v)\n\n",
+		npus, routing, policy, preemptive)
+	fmt.Printf("%-5s %-6s %-13s %-10s\n", "NPU", "tasks", "makespan(ms)", "busy")
+	for i, s := range res.PerNPU {
+		fmt.Printf("%-5d %-6d %-13.2f %3.0f%%\n",
+			i, s.Tasks, cfg.Millis(s.Makespan), s.BusyFrac*100)
+	}
+	fmt.Printf("\nANTT=%.2f  STP=%.2f  fairness=%.3f  preemptions=%d  SLA@4x=%.0f%%\n",
+		res.Metrics.ANTT, res.Metrics.STP, res.Metrics.Fairness, res.Preemptions,
+		metrics.SLAViolationRate(res.Tasks, 4)*100)
+}
+
+func countRealPreemptions(res *sim.Result) int {
+	n := 0
+	for _, ev := range res.Preemptions {
+		if ev.Cost.Mechanism.String() != "DRAIN" {
+			n++
+		}
+	}
+	return n
+}
+
+func selName(s sched.MechanismSelector) string {
+	if s == nil {
+		return "none"
+	}
+	return s.Name()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "premasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command premazoo inspects the benchmark model zoo: the eight-model
+// suite of Section III plus the auxiliary models, their per-layer GEMM
+// lowerings, MAC counts, footprints, and simulated isolated latencies
+// (Table I configuration).
+//
+// Usage:
+//
+//	premazoo                  # suite summary
+//	premazoo -model CNN-VN    # per-layer detail
+//	premazoo -config          # print the Table I / Table II configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compiler"
+	"repro/internal/dnn"
+	"repro/internal/isa"
+	"repro/internal/npu"
+	"repro/internal/sched"
+	"repro/internal/seqlen"
+)
+
+func main() {
+	var (
+		modelName  = flag.String("model", "", "show per-layer detail for one model")
+		batch      = flag.Int("batch", 1, "batch size for latency estimates")
+		showConfig = flag.Bool("config", false, "print NPU and scheduler configuration")
+		disasm     = flag.Bool("disasm", false, "disassemble the compiled NPU program (with -model)")
+	)
+	flag.Parse()
+
+	cfg := npu.DefaultConfig()
+	if *showConfig {
+		printConfig(cfg)
+		return
+	}
+
+	comp, err := compiler.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	lib, err := seqlen.NewLibrary(0xA11CE)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *modelName != "" {
+		m, err := dnn.ByName(*modelName)
+		if err != nil {
+			fatal(err)
+		}
+		if *disasm {
+			inLen, outLen := 0, 0
+			if m.IsRNN() {
+				inLen = (m.MinInLen + m.MaxInLen) / 2
+				p, err := lib.Predictor(m.SeqProfile)
+				if err != nil {
+					fatal(err)
+				}
+				outLen = p.Regression.Predict(inLen)
+			}
+			prog, err := comp.Compile(m, *batch, inLen, outLen)
+			if err != nil {
+				fatal(err)
+			}
+			if err := isa.Disassemble(prog, os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		printModel(cfg, m, *batch)
+		return
+	}
+
+	fmt.Printf("%-10s %-5s %-7s %-10s %-11s %-12s %-12s\n",
+		"model", "class", "layers", "MACs(G)", "weights(MB)", "latency(ms)", "seq profile")
+	for _, m := range dnn.All() {
+		inLen, outLen := 0, 0
+		if m.IsRNN() {
+			inLen = (m.MinInLen + m.MaxInLen) / 2
+			p, err := lib.Predictor(m.SeqProfile)
+			if err != nil {
+				fatal(err)
+			}
+			outLen = p.Regression.Predict(inLen)
+		}
+		prog, err := comp.Compile(m, *batch, inLen, outLen)
+		if err != nil {
+			fatal(err)
+		}
+		profile := "-"
+		if m.IsRNN() {
+			profile = fmt.Sprintf("%s (in=%d out~%d)", m.SeqProfile, inLen, outLen)
+		}
+		fmt.Printf("%-10s %-5s %-7d %-10.2f %-11.1f %-12.3f %-12s\n",
+			m.Name, m.Class, prog.Layers,
+			float64(prog.TotalMACs)/1e9,
+			float64(m.TotalWeightBytes(inLen, outLen))/(1<<20),
+			cfg.Millis(prog.TotalCycles), profile)
+	}
+}
+
+func printModel(cfg npu.Config, m *dnn.Model, batch int) {
+	inLen, outLen := 0, 0
+	if m.IsRNN() {
+		inLen = (m.MinInLen + m.MaxInLen) / 2
+		outLen = inLen // representative unroll for inspection
+	}
+	fmt.Printf("%s (%s), batch %d\n\n", m.Name, m.Class, batch)
+	fmt.Printf("%-16s %-7s %-24s %-10s %-10s\n", "layer", "kind", "GEMM (MxK)x(KxN)", "MACs(M)", "out(KB)")
+	seen := map[string]bool{}
+	for _, l := range m.LayersFor(inLen, outLen) {
+		if seen[l.Name] {
+			continue
+		}
+		seen[l.Name] = true
+		gemm := "-"
+		if g, ok := l.GEMM(batch); ok {
+			gemm = g.String()
+		}
+		fmt.Printf("%-16s %-7s %-24s %-10.1f %-10.1f\n",
+			l.Name, l.Kind, gemm,
+			float64(l.MACs(batch))/1e6,
+			float64(dnn.Bytes(l.OutputElems(batch)))/1024)
+	}
+}
+
+func printConfig(cfg npu.Config) {
+	fmt.Println("NPU configuration (Table I):")
+	fmt.Printf("  systolic array        %dx%d PEs\n", cfg.SW, cfg.SH)
+	fmt.Printf("  accumulator depth     %d\n", cfg.ACC)
+	fmt.Printf("  frequency             %.0f MHz\n", cfg.FreqHz/1e6)
+	fmt.Printf("  UBUF / WBUF           %d MB / %d MB\n", cfg.UBUFBytes>>20, cfg.WBUFBytes>>20)
+	fmt.Printf("  memory channels       %d\n", cfg.MemChannels)
+	fmt.Printf("  memory bandwidth      %.0f GB/s (%.1f B/cycle)\n",
+		cfg.MemBWBytesPerSec/1e9, cfg.BytesPerCycle())
+	fmt.Printf("  memory latency        %d cycles\n", cfg.MemLatencyCycles)
+	fmt.Printf("  peak throughput       %.1f TMAC/s\n", cfg.PeakMACsPerSec()/1e12)
+	scfg := sched.DefaultConfig()
+	fmt.Println("\nPREMA scheduler configuration (Table II):")
+	fmt.Printf("  scheduling period     %v\n", scfg.Quantum)
+	fmt.Printf("  tokens per priority   %v (low/medium/high)\n", scfg.TokenThresholdLevels)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "premazoo:", err)
+	os.Exit(1)
+}

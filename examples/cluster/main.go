@@ -1,0 +1,71 @@
+// Cluster: the system-node level the paper leaves as future work
+// (Section II-C) — a Kubernetes-style router spreading inference requests
+// across several preemptible NPUs, each running its own local scheduler.
+// The example shows that (1) adding NPUs shrinks latency, (2) the
+// NPU-local scheduler still matters at every scale, and (3) PREMA's
+// inference-time predictor composes upward into work-balanced routing.
+//
+// Run with:
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/npu"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := npu.DefaultConfig()
+	scfg := sched.DefaultConfig()
+	gen, err := workload.NewGenerator(cfg, 0xA11CE)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		tasks = 32
+		runs  = 8
+	)
+	fmt.Printf("%-5s %-13s %-15s %8s %8s %10s\n",
+		"NPUs", "router", "local", "ANTT", "STP", "SLA@4x")
+	for _, npus := range []int{1, 2, 4, 8} {
+		for _, local := range []struct {
+			label      string
+			policy     string
+			preemptive bool
+		}{
+			{"NP-FCFS", "FCFS", false},
+			{"Dynamic-PREMA", "PREMA", true},
+		} {
+			var antt, stp, sla float64
+			for r := 0; r < runs; r++ {
+				ts, err := gen.Generate(workload.Spec{Tasks: tasks}, workload.RNGFor(99, r))
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := cluster.Run(cluster.Options{
+					NPUs: npus, Routing: cluster.LeastWork,
+					NPU: cfg, Sched: scfg,
+					LocalPolicy: local.policy, Preemptive: local.preemptive,
+				}, ts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				antt += res.Metrics.ANTT / runs
+				stp += res.Metrics.STP / runs
+				sla += metrics.SLAViolationRate(res.Tasks, 4) / runs
+			}
+			fmt.Printf("%-5d %-13s %-15s %8.2f %8.2f %9.0f%%\n",
+				npus, "least-work", local.label, antt, stp, sla*100)
+		}
+	}
+	fmt.Println("\nEven with predictive routing, the NPU-local PREMA scheduler cuts ANTT by")
+	fmt.Println("several x at every node size: routing balances load, preemption fixes ordering.")
+}

@@ -1,0 +1,71 @@
+// Slasweep: the Figure 13 study as a library user would run it — sweep
+// the SLA target (expressed as a multiple of each task's isolated
+// execution time) and report the fraction of violated requests under the
+// baseline and under PREMA, for cloud operators choosing service tiers.
+//
+// Run with:
+//
+//	go run ./examples/slasweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	prema "repro"
+	"repro/internal/sched"
+)
+
+func main() {
+	sys, err := prema.NewSystem(prema.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schedulers := []struct {
+		label string
+		cfg   prema.Scheduler
+	}{
+		{"NP-FCFS", prema.Scheduler{Policy: "FCFS"}},
+		{"P-SJF", prema.Scheduler{Policy: "SJF", Preemptive: true, Mechanism: "static-checkpoint"}},
+		{"PREMA", prema.Scheduler{Policy: "PREMA", Preemptive: true, Mechanism: "dynamic"}},
+	}
+	const runs = 20
+
+	// Pool completed tasks per scheduler across runs.
+	pooled := make([][]*sched.Task, len(schedulers))
+	for si, s := range schedulers {
+		for r := 0; r < runs; r++ {
+			tasks, err := sys.Workload(prema.WorkloadSpec{Tasks: 8}, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sys.Simulate(s.cfg, tasks)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pooled[si] = append(pooled[si], res.Tasks...)
+		}
+	}
+
+	fmt.Printf("%-24s", "SLA target (x isolated)")
+	for _, s := range schedulers {
+		fmt.Printf("%10s", s.label)
+	}
+	fmt.Println()
+	for target := 2.0; target <= 20; target += 2 {
+		fmt.Printf("%-24.0f", target)
+		for si := range schedulers {
+			violated := 0
+			for _, t := range pooled[si] {
+				if t.NTT() > target {
+					violated++
+				}
+			}
+			fmt.Printf("%9.1f%%", float64(violated)/float64(len(pooled[si]))*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nPREMA keeps violations low at tight targets while — unlike SJF — still")
+	fmt.Println("prioritizing high-priority requests (see examples/preemption).")
+}

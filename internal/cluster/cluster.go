@@ -1,0 +1,222 @@
+// Package cluster implements the system-node level the paper scopes out
+// as future work (Section II-C): a Kubernetes-style router dispatching
+// inference requests across multiple preemptible NPUs, each running its
+// own local scheduler (NP-FCFS, PREMA, ...). The paper's runtime split is
+// preserved exactly: the router decides *which NPU* serves a request; the
+// NPU-local scheduler decides *when* it runs and whether it preempts.
+//
+// Routing policies range from the classic (round robin, least queued) to
+// a predictive router that reuses PREMA's inference-time estimates to
+// balance actual work rather than request counts — demonstrating that the
+// Algorithm 1 predictor composes beyond the single-NPU scheduler.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/npu"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RoutingPolicy selects a target NPU for each arriving request.
+type RoutingPolicy int
+
+const (
+	// RoundRobin cycles through the NPUs in dispatch order.
+	RoundRobin RoutingPolicy = iota
+	// LeastQueued routes to the NPU with the fewest requests whose
+	// (estimated) work has not yet drained at the arrival instant.
+	LeastQueued
+	// LeastWork routes to the NPU with the least estimated backlog in
+	// cycles — the predictive router built on Algorithm 1's estimates.
+	LeastWork
+)
+
+// String names the routing policy.
+func (p RoutingPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastQueued:
+		return "least-queued"
+	case LeastWork:
+		return "least-work"
+	default:
+		return fmt.Sprintf("RoutingPolicy(%d)", int(p))
+	}
+}
+
+// Options configures a cluster run.
+type Options struct {
+	// NPUs is the accelerator count in the node (>= 1).
+	NPUs int
+	// Routing selects the router policy.
+	Routing RoutingPolicy
+	// NPU is the per-accelerator configuration.
+	NPU npu.Config
+	// Sched is the NPU-local scheduler configuration.
+	Sched sched.Config
+	// LocalPolicy is the NPU-local scheduling policy label.
+	LocalPolicy string
+	// Preemptive enables the preemptible-NPU path locally.
+	Preemptive bool
+	// Selector is the local preemption-mechanism selector label.
+	Selector string
+}
+
+// Result aggregates a cluster run.
+type Result struct {
+	// Metrics are computed across all tasks on all NPUs.
+	Metrics metrics.Run
+	// Tasks pools the completed tasks.
+	Tasks []*sched.Task
+	// PerNPU records each accelerator's makespan and task count.
+	PerNPU []NPUStats
+	// Preemptions counts serviced (non-DRAIN) preemptions clusterwide.
+	Preemptions int
+}
+
+// NPUStats summarizes one accelerator's share of the run.
+type NPUStats struct {
+	Tasks    int
+	Makespan int64
+	BusyFrac float64
+}
+
+// Route assigns tasks (sorted internally by arrival) to NPUs per the
+// routing policy, using a fluid backlog model: each NPU's queue is
+// approximated by the serial completion time of the work already routed
+// to it. Returns one task list per NPU.
+func Route(opt Options, tasks []*workload.Task) ([][]*workload.Task, error) {
+	if opt.NPUs <= 0 {
+		return nil, fmt.Errorf("cluster: non-positive NPU count %d", opt.NPUs)
+	}
+	ordered := append([]*workload.Task(nil), tasks...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Arrival != ordered[j].Arrival {
+			return ordered[i].Arrival < ordered[j].Arrival
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+
+	buckets := make([][]*workload.Task, opt.NPUs)
+	freeAt := make([]int64, opt.NPUs)   // fluid completion horizon
+	queued := make([][]int64, opt.NPUs) // completion horizons per routed task
+	rr := 0
+	for _, t := range ordered {
+		var target int
+		switch opt.Routing {
+		case RoundRobin:
+			target = rr % opt.NPUs
+			rr++
+		case LeastQueued:
+			best, bestN := 0, int(1<<30)
+			for i := range queued {
+				n := 0
+				for _, done := range queued[i] {
+					if done > t.Arrival {
+						n++
+					}
+				}
+				if n < bestN {
+					best, bestN = i, n
+				}
+			}
+			target = best
+		case LeastWork:
+			best, bestWork := 0, int64(1<<62)
+			for i := range freeAt {
+				backlog := freeAt[i] - t.Arrival
+				if backlog < 0 {
+					backlog = 0
+				}
+				if backlog < bestWork {
+					best, bestWork = i, backlog
+				}
+			}
+			target = best
+		default:
+			return nil, fmt.Errorf("cluster: unknown routing policy %d", int(opt.Routing))
+		}
+		buckets[target] = append(buckets[target], t)
+		start := freeAt[target]
+		if t.Arrival > start {
+			start = t.Arrival
+		}
+		freeAt[target] = start + t.EstimatedCycles
+		queued[target] = append(queued[target], freeAt[target])
+	}
+	return buckets, nil
+}
+
+// Run routes the tasks and simulates every NPU independently (the NPUs
+// share no state besides the router's dispatch decision, exactly as in
+// the paper's deployment model).
+func Run(opt Options, tasks []*workload.Task) (*Result, error) {
+	if err := opt.NPU.Validate(); err != nil {
+		return nil, err
+	}
+	policy, err := sched.ByName(opt.LocalPolicy, opt.Sched)
+	if err != nil {
+		return nil, err
+	}
+	var selector sched.MechanismSelector
+	if opt.Preemptive {
+		sel := opt.Selector
+		if sel == "" {
+			sel = "dynamic"
+		}
+		if selector, err = sched.SelectorByName(sel); err != nil {
+			return nil, err
+		}
+	}
+	buckets, err := Route(opt, tasks)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{PerNPU: make([]NPUStats, opt.NPUs)}
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		// Policies are stateless and safely shared; each simulator
+		// owns only its routed tasks.
+		simulator, err := sim.New(sim.Options{
+			NPU: opt.NPU, Sched: opt.Sched,
+			Policy: policy, Preemptive: opt.Preemptive, Selector: selector,
+		}, workload.SchedTasks(bucket))
+		if err != nil {
+			return nil, err
+		}
+		res, err := simulator.Run()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: NPU %d: %w", i, err)
+		}
+		out.Tasks = append(out.Tasks, res.Tasks...)
+		busy := res.Timeline.BusyCycles()
+		stats := NPUStats{Tasks: len(res.Tasks), Makespan: res.Cycles}
+		if res.Cycles > 0 {
+			stats.BusyFrac = float64(busy) / float64(res.Cycles)
+		}
+		out.PerNPU[i] = stats
+		for _, ev := range res.Preemptions {
+			if ev.Cost.Mechanism.String() != "DRAIN" {
+				out.Preemptions++
+			}
+		}
+	}
+	if len(out.Tasks) == 0 {
+		return nil, fmt.Errorf("cluster: no tasks completed")
+	}
+	m, err := metrics.FromTasks(out.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	out.Metrics = m
+	return out, nil
+}

@@ -1,0 +1,279 @@
+// Package compiler lowers a DNN model instance (model, batch size and,
+// for RNNs, a concrete unrolled sequence length) into the NPU's CISC
+// instruction stream with per-instruction effective latencies.
+//
+// The timing model is the paper's deterministic weight-stationary dataflow
+// (Figure 3, Algorithm 1): every GEMM is tiled into (SW x SH) weight tiles
+// streamed against (SH x ACC) activation tiles; double-buffering overlaps
+// each tile's memory phase with the previous tile's compute phase, so a
+// tile's effective latency is max(compute, memory).
+//
+// On top of Algorithm 1's first-order terms the compiler adds the
+// second-order effects a real NPU pays and the paper's predictor
+// deliberately omits — the per-layer weight preamble (first tile's
+// non-overlappable load plus a DRAM access), output-spill traffic for
+// layers whose activations exceed UBUF, and vector-unit epilogues for
+// fused activations. These residues are what give PREMA's predictor its
+// small but non-zero estimation error (Section VI-A reports 1.6%).
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/npu"
+	"repro/internal/stats"
+)
+
+// Compiler lowers models for one NPU configuration.
+type Compiler struct {
+	cfg npu.Config
+}
+
+// New returns a Compiler for the given configuration.
+func New(cfg npu.Config) (*Compiler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Compiler{cfg: cfg}, nil
+}
+
+// Config returns the target configuration.
+func (c *Compiler) Config() npu.Config { return c.cfg }
+
+// Compile lowers a model instance. For CNNs, inLen/outLen are ignored.
+func (c *Compiler) Compile(m *dnn.Model, batch, inLen, outLen int) (*npu.Program, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("compiler: non-positive batch %d", batch)
+	}
+	layers := m.LayersFor(inLen, outLen)
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("compiler: model %q produced no layers", m.Name)
+	}
+	prog := &npu.Program{
+		Model:  m.Name,
+		Batch:  batch,
+		InLen:  inLen,
+		OutLen: outLen,
+		Layers: len(layers),
+	}
+	for idx, l := range layers {
+		if err := l.Validate(); err != nil {
+			return nil, fmt.Errorf("compiler: %w", err)
+		}
+		c.lowerLayer(prog, int32(idx), l, batch)
+		prog.TotalMACs += l.MACs(batch)
+	}
+	for _, in := range prog.Instrs {
+		prog.TotalCycles += int64(in.Cycles)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// lowerLayer appends the instruction sequence for one layer.
+func (c *Compiler) lowerLayer(prog *npu.Program, idx int32, l dnn.Layer, batch int) {
+	switch l.Kind {
+	case dnn.Conv, dnn.FC, dnn.LSTM:
+		c.lowerGEMM(prog, idx, l, batch)
+	case dnn.DWConv, dnn.Pool, dnn.Act:
+		c.lowerVector(prog, idx, l, batch)
+	}
+}
+
+// TileTime returns the effective latency of one GEMM tile with kTile
+// reduction rows and n streamed activation columns, per Algorithm 1:
+// compute = n + SH + 2*SW (pipeline fill, stream, drain and weight
+// staging), memory = (weight tile + activation tile bytes) / bandwidth,
+// effective = max of the two under double buffering.
+func TileTime(cfg npu.Config, kTile, n int) int64 {
+	compute := int64(n) + int64(cfg.SH) + 2*int64(cfg.SW)
+	bytes := dnn.Bytes(int64(cfg.SH)*int64(cfg.SW) + int64(kTile)*int64(n))
+	mem := cfg.MemCycles(bytes)
+	if mem > compute {
+		return mem
+	}
+	return compute
+}
+
+// gemmTiles describes the tiling of a GEMM shape onto the array.
+type gemmTiles struct {
+	mTiles, kTiles int // full coverage counts (ceil)
+	nInner, nOuter int // inner tiles stream ACC columns; outer the residue
+	outerN         int // residual column count (0 if none)
+	kLast          int // reduction rows in the final k tile
+}
+
+func tile(cfg npu.Config, g dnn.GEMMShape) gemmTiles {
+	t := gemmTiles{
+		mTiles: stats.CeilDiv(g.M, cfg.SW),
+		kTiles: stats.CeilDiv(g.K, cfg.SH),
+		nInner: g.N / cfg.ACC,
+		outerN: g.N % cfg.ACC,
+	}
+	if t.outerN > 0 {
+		t.nOuter = 1
+	}
+	t.kLast = g.K - (t.kTiles-1)*cfg.SH
+	return t
+}
+
+// lowerGEMM emits the instruction stream for a GEMM-mapped layer:
+// a weight preamble (LOAD_TILE + DRAM latency, not overlappable because
+// the pipeline is empty), one CONV_OP/GEMM_OP per tile with the
+// double-buffered effective latency, an optional STORE_TILE spill when
+// outputs exceed UBUF, and a VECTOR_OP epilogue for fused activations.
+func (c *Compiler) lowerGEMM(prog *npu.Program, idx int32, l dnn.Layer, batch int) {
+	g, ok := l.GEMM(batch)
+	if !ok || !g.Valid() {
+		return
+	}
+	cfg := c.cfg
+	t := tile(cfg, g)
+	op := npu.GEMMOp
+	if l.Kind == dnn.Conv {
+		op = npu.ConvOp
+	}
+
+	inBytes := dnn.Bytes(l.InputElems(batch))
+	outBytes := dnn.Bytes(l.OutputElems(batch))
+	spills := outBytes > cfg.UBUFBytes
+
+	// Preamble: first weight tile load with the pipeline idle.
+	preBytes := dnn.Bytes(int64(cfg.SH) * int64(cfg.SW))
+	pre := cfg.MemCycles(preBytes) + cfg.MemLatencyCycles
+	prog.Instrs = append(prog.Instrs, npu.Instr{
+		Op: npu.LoadTile, Layer: idx,
+		Cycles:    clampCycles(pre),
+		LiveBytes: liveBytes(cfg, inBytes, 0),
+	})
+
+	totalTiles := t.mTiles * t.kTiles * (t.nInner + t.nOuter)
+	emitted := 0
+	emitTile := func(kTile, n int) {
+		cycles := TileTime(cfg, kTile, n)
+		if spills {
+			// Output rows leave UBUF for DRAM as they are produced;
+			// the extra write traffic competes with tile fetches.
+			extra := cfg.MemCycles(dnn.Bytes(int64(cfg.SW) * int64(n)))
+			if mem := extra + memOnly(cfg, kTile, n); mem > cycles {
+				cycles = mem
+			}
+		}
+		emitted++
+		produced := int64(float64(outBytes) * float64(emitted) / float64(totalTiles))
+		prog.Instrs = append(prog.Instrs, npu.Instr{
+			Op: op, Layer: idx,
+			Cycles:    clampCycles(cycles),
+			LiveBytes: liveBytes(cfg, inBytes, produced),
+		})
+	}
+
+	for m := 0; m < t.mTiles; m++ {
+		for k := 0; k < t.kTiles; k++ {
+			kTile := cfg.SH
+			if k == t.kTiles-1 {
+				kTile = t.kLast
+			}
+			for n := 0; n < t.nInner; n++ {
+				emitTile(kTile, cfg.ACC)
+			}
+			if t.nOuter > 0 {
+				emitTile(kTile, t.outerN)
+			}
+		}
+	}
+
+	if spills {
+		// Residual drain of the final output rows that could not
+		// overlap with further compute.
+		drain := cfg.MemCycles(dnn.Bytes(int64(cfg.SW)*int64(cfg.ACC))) + cfg.MemLatencyCycles
+		prog.Instrs = append(prog.Instrs, npu.Instr{
+			Op: npu.StoreTile, Layer: idx,
+			Cycles:    clampCycles(drain),
+			LiveBytes: liveBytes(cfg, 0, outBytes),
+		})
+	}
+
+	if l.FusedAct {
+		// Fused activation epilogue: the vector unit chases the GEMM
+		// output stream, so only a fraction of its work extends the
+		// critical path.
+		ep := l.OutputElems(batch) / int64(cfg.VectorLanes) / 4
+		if ep > 0 {
+			prog.Instrs = append(prog.Instrs, npu.Instr{
+				Op: npu.VectorOp, Layer: idx,
+				Cycles:    clampCycles(ep),
+				LiveBytes: liveBytes(cfg, 0, outBytes),
+			})
+		}
+	}
+}
+
+// memOnly returns the tile's memory phase without the weight preamble.
+func memOnly(cfg npu.Config, kTile, n int) int64 {
+	return cfg.MemCycles(dnn.Bytes(int64(cfg.SH)*int64(cfg.SW) + int64(kTile)*int64(n)))
+}
+
+// lowerVector emits vector-unit work for layers that bypass the systolic
+// array: depthwise convolutions, pooling, standalone activations. The
+// latency is element throughput bound by the vector lanes, or by memory
+// when the layer is bandwidth bound.
+func (c *Compiler) lowerVector(prog *npu.Program, idx int32, l dnn.Layer, batch int) {
+	cfg := c.cfg
+	macs := l.MACs(batch)
+	compute := stats.CeilDiv64(macs, int64(cfg.VectorLanes))
+	inBytes := dnn.Bytes(l.InputElems(batch))
+	outBytes := dnn.Bytes(l.OutputElems(batch))
+	wBytes := dnn.Bytes(l.WeightElems())
+	mem := cfg.MemCycles(inBytes + wBytes)
+	cycles := compute
+	if mem > cycles {
+		cycles = mem
+	}
+	cycles += cfg.MemLatencyCycles
+
+	// Split long vector layers into ACC-sized chunks so preemption
+	// points stay fine-grained (footnote 2: tile-boundary preemption).
+	const chunkTarget = 1 << 14 // cycles per emitted instruction
+	chunks := int(cycles/chunkTarget) + 1
+	per := cycles / int64(chunks)
+	rem := cycles - per*int64(chunks)
+	for i := 0; i < chunks; i++ {
+		cyc := per
+		if i == chunks-1 {
+			cyc += rem
+		}
+		produced := int64(float64(outBytes) * float64(i+1) / float64(chunks))
+		prog.Instrs = append(prog.Instrs, npu.Instr{
+			Op: npu.VectorOp, Layer: idx,
+			Cycles:    clampCycles(cyc),
+			LiveBytes: liveBytes(cfg, inBytes, produced),
+		})
+	}
+}
+
+// liveBytes models the checkpointable on-chip context: resident input
+// activations plus the output activations produced so far, capped by the
+// UBUF capacity (activations beyond UBUF stream through DRAM and need no
+// checkpointing; Section IV-B).
+func liveBytes(cfg npu.Config, inBytes, producedOut int64) int64 {
+	live := inBytes + producedOut
+	if live > cfg.UBUFBytes {
+		live = cfg.UBUFBytes
+	}
+	return live
+}
+
+func clampCycles(c int64) int32 {
+	const max = 1<<31 - 1
+	if c > max {
+		return max
+	}
+	if c < 0 {
+		return 0
+	}
+	return int32(c)
+}

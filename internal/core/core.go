@@ -1,0 +1,108 @@
+// Package core assembles the paper's primary contribution — the PREMA
+// predictive multi-task scheduler — into one decision engine: the
+// token-based scheduling policy (Algorithm 2), the dynamic preemption
+// mechanism selection (Algorithm 3), and the inference task context table
+// (Figure 4) behind a single Decide call.
+//
+// The building blocks live in internal/sched (policies, mechanism
+// selectors, context table) and internal/preempt (mechanisms); package
+// core wires them together the way the paper's Figure 4 block diagram
+// does, so an integrator can drive a preemptible NPU with one object:
+//
+//	engine := core.New(core.Config{})
+//	decision := engine.Decide(ready, current, now)
+//	if decision.Preempt { ... apply decision.Mechanism ... }
+package core
+
+import (
+	"repro/internal/preempt"
+	"repro/internal/sched"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Sched is the Table II scheduler configuration; zero value uses
+	// the defaults.
+	Sched sched.Config
+	// Saving is the mechanism Algorithm 3 uses when it decides to
+	// preempt (CHECKPOINT unless overridden for sensitivity studies).
+	Saving preempt.Mechanism
+	// DisableDynamic pins the mechanism to Saving instead of running
+	// Algorithm 3 (the "static" configurations of Figure 12).
+	DisableDynamic bool
+}
+
+// Engine is the two-step PREMA scheduler.
+type Engine struct {
+	cfg      Config
+	policy   *sched.PREMA
+	selector sched.MechanismSelector
+}
+
+// New builds an Engine. The zero Config yields the paper's configuration:
+// Table II quanta/tokens, CHECKPOINT saving, Algorithm 3 enabled.
+func New(cfg Config) *Engine {
+	if cfg.Sched.Quantum == 0 {
+		cfg.Sched = sched.DefaultConfig()
+	}
+	var selector sched.MechanismSelector
+	if cfg.DisableDynamic {
+		selector = sched.Static{M: cfg.Saving}
+	} else {
+		selector = sched.Dynamic{Saving: cfg.Saving}
+	}
+	return &Engine{
+		cfg:      cfg,
+		policy:   sched.NewPREMA(cfg.Sched),
+		selector: selector,
+	}
+}
+
+// Decision is the engine's verdict for one scheduler wake-up.
+type Decision struct {
+	// Candidate is the task PREMA wants on the NPU next (nil when the
+	// ready queue is empty).
+	Candidate *sched.Task
+	// Preempt reports whether the running task should be preempted in
+	// favor of Candidate.
+	Preempt bool
+	// Mechanism is how the preemption should be serviced when Preempt
+	// is set; Drain means "let the runner finish first".
+	Mechanism preempt.Mechanism
+}
+
+// Policy exposes the underlying Algorithm 2 policy (for simulators that
+// drive policy and mechanism separately).
+func (e *Engine) Policy() sched.Policy { return e.policy }
+
+// Selector exposes the underlying mechanism selector.
+func (e *Engine) Selector() sched.MechanismSelector { return e.selector }
+
+// UpdateTokens applies Algorithm 2's periodic token grants to the context
+// table. Call at every wake-up before Decide.
+func (e *Engine) UpdateTokens(tasks []*sched.Task, now int64) {
+	sched.UpdateTokens(tasks, now)
+}
+
+// Decide runs the two-step procedure of Section V-C: Algorithm 2 picks
+// the candidate, and — if the policy recommends displacing the runner —
+// Algorithm 3 (or the pinned static mechanism) chooses how.
+func (e *Engine) Decide(ready []*sched.Task, current *sched.Task, now int64) Decision {
+	if len(ready) == 0 {
+		return Decision{}
+	}
+	d := e.policy.Pick(ready, current, now)
+	out := Decision{Candidate: d.Candidate}
+	if current == nil {
+		return out
+	}
+	if !d.Preempt || d.Candidate == nil {
+		// The runner keeps the NPU: semantically a drain of the
+		// current task before the candidate can be considered again.
+		out.Mechanism = preempt.Drain
+		return out
+	}
+	out.Mechanism = e.selector.Select(current, d.Candidate)
+	out.Preempt = out.Mechanism != preempt.Drain
+	return out
+}

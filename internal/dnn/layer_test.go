@@ -1,0 +1,193 @@
+package dnn
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpatialOut(t *testing.T) {
+	cases := []struct {
+		in, k, stride, pad, want int
+	}{
+		{224, 3, 1, 1, 224}, // same-padded 3x3
+		{224, 3, 2, 1, 112}, // strided
+		{227, 11, 4, 0, 55}, // AlexNet conv1
+		{55, 3, 2, 0, 27},   // AlexNet pool1
+		{7, 7, 1, 0, 1},     // global pool
+		{3, 5, 1, 0, 0},     // kernel larger than input
+	}
+	for _, c := range cases {
+		if got := spatialOut(c.in, c.k, c.stride, c.pad); got != c.want {
+			t.Errorf("spatialOut(%d,%d,%d,%d) = %d, want %d",
+				c.in, c.k, c.stride, c.pad, got, c.want)
+		}
+	}
+}
+
+func TestConvGEMMDims(t *testing.T) {
+	l := NewConv("c", 56, 56, 64, 128, 3, 1, 1)
+	g, ok := l.GEMM(4)
+	if !ok {
+		t.Fatal("conv should lower to GEMM")
+	}
+	want := GEMMShape{M: 128, K: 64 * 9, N: 56 * 56 * 4}
+	if g != want {
+		t.Errorf("GEMM = %+v, want %+v", g, want)
+	}
+	if g.MACs() != int64(128)*576*12544 {
+		t.Errorf("MACs = %d", g.MACs())
+	}
+}
+
+func TestFCAndLSTMGEMMDims(t *testing.T) {
+	fc := NewFC("fc", 4096, 1000, false)
+	g, ok := fc.GEMM(16)
+	if !ok || g != (GEMMShape{M: 1000, K: 4096, N: 16}) {
+		t.Errorf("FC GEMM = %+v ok=%v", g, ok)
+	}
+	lstm := NewLSTM("l", 512, 256)
+	g, ok = lstm.GEMM(2)
+	if !ok || g != (GEMMShape{M: 2048, K: 768, N: 2}) {
+		t.Errorf("LSTM GEMM = %+v ok=%v", g, ok)
+	}
+}
+
+func TestVectorLayersDoNotLowerToGEMM(t *testing.T) {
+	for _, l := range []Layer{
+		NewDWConv("dw", 14, 14, 512, 3, 1, 1),
+		NewPool("p", 14, 14, 512, 2, 2, 0),
+		{Name: "a", Kind: Act, InH: 14, InW: 14, InC: 512},
+	} {
+		if _, ok := l.GEMM(1); ok {
+			t.Errorf("layer %s (%v) unexpectedly lowers to GEMM", l.Name, l.Kind)
+		}
+		if l.MACs(1) <= 0 {
+			t.Errorf("layer %s has non-positive MACs", l.Name)
+		}
+	}
+}
+
+func TestOutputAndInputElems(t *testing.T) {
+	conv := NewConv("c", 28, 28, 256, 512, 3, 1, 1)
+	if got := conv.OutputElems(2); got != 512*28*28*2 {
+		t.Errorf("conv OutputElems = %d", got)
+	}
+	if got := conv.InputElems(2); got != 256*28*28*2 {
+		t.Errorf("conv InputElems = %d", got)
+	}
+	lstm := NewLSTM("l", 512, 512)
+	// Hidden plus cell state are live output state.
+	if got := lstm.OutputElems(3); got != 2*512*3 {
+		t.Errorf("lstm OutputElems = %d", got)
+	}
+	fc := NewFC("f", 100, 10, false)
+	if got := fc.OutputElems(5); got != 50 {
+		t.Errorf("fc OutputElems = %d", got)
+	}
+}
+
+func TestWeightElems(t *testing.T) {
+	if got := NewConv("c", 8, 8, 3, 16, 5, 1, 2).WeightElems(); got != 16*3*25 {
+		t.Errorf("conv WeightElems = %d", got)
+	}
+	if got := NewDWConv("d", 8, 8, 32, 3, 1, 1).WeightElems(); got != 32*9 {
+		t.Errorf("dwconv WeightElems = %d", got)
+	}
+	if got := NewFC("f", 10, 20, false).WeightElems(); got != 200 {
+		t.Errorf("fc WeightElems = %d", got)
+	}
+	if got := NewLSTM("l", 4, 2).WeightElems(); got != 4*4*(2+4) {
+		t.Errorf("lstm WeightElems = %d", got)
+	}
+	if got := NewPool("p", 8, 8, 4, 2, 2, 0).WeightElems(); got != 0 {
+		t.Errorf("pool WeightElems = %d, want 0", got)
+	}
+}
+
+func TestLayerValidate(t *testing.T) {
+	valid := []Layer{
+		NewConv("c", 28, 28, 3, 8, 3, 1, 1),
+		NewDWConv("d", 28, 28, 8, 3, 1, 1),
+		NewFC("f", 4, 2, true),
+		NewLSTM("l", 8, 4),
+		NewPool("p", 28, 28, 8, 2, 2, 0),
+	}
+	for _, l := range valid {
+		if err := l.Validate(); err != nil {
+			t.Errorf("layer %s should validate: %v", l.Name, err)
+		}
+	}
+	invalid := []Layer{
+		{Name: "neg", Kind: Conv, InH: -1, InW: 3, InC: 3, OutC: 3, KH: 1, KW: 1, Stride: 1},
+		{Name: "stride0", Kind: Conv, InH: 3, InW: 3, InC: 3, OutC: 3, KH: 1, KW: 1, Stride: 0},
+		{Name: "bigk", Kind: Conv, InH: 3, InW: 3, InC: 3, OutC: 3, KH: 9, KW: 9, Stride: 1},
+		{Name: "dwmismatch", Kind: DWConv, InH: 8, InW: 8, InC: 4, OutC: 8, KH: 3, KW: 3, Stride: 1, Padding: 1},
+		{Name: "fc0", Kind: FC, InF: 0, OutF: 2},
+		{Name: "lstm0", Kind: LSTM, Hidden: 0, InDim: 4},
+		{Name: "unknown", Kind: Kind(99)},
+	}
+	for _, l := range invalid {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layer %s should fail validation", l.Name)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		Conv: "CONV", DWConv: "DWCONV", FC: "FC",
+		Pool: "POOL", Act: "ACTV", LSTM: "RECR",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := Bytes(100); got != 200 {
+		t.Errorf("Bytes(100) = %d with 16-bit elements, want 200", got)
+	}
+}
+
+// Property: for GEMM-lowerable layers, layer MACs always equal the GEMM
+// shape's MACs, and scale linearly with batch.
+func TestGEMMMACsConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	f := func() bool {
+		hw := 1 + rng.IntN(64)
+		inC := 1 + rng.IntN(256)
+		outC := 1 + rng.IntN(256)
+		k := 1 + rng.IntN(min(hw, 7))
+		l := NewConv("c", hw, hw, inC, outC, k, 1, k/2)
+		if l.OutH() <= 0 {
+			return true
+		}
+		b := 1 + rng.IntN(16)
+		g, ok := l.GEMM(b)
+		if !ok {
+			return false
+		}
+		if l.MACs(b) != g.MACs() {
+			return false
+		}
+		// Linear batch scaling.
+		g1, _ := l.GEMM(1)
+		return g.MACs() == g1.MACs()*int64(b)
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

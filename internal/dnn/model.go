@@ -1,0 +1,146 @@
+package dnn
+
+import (
+	"fmt"
+)
+
+// Class distinguishes the two model families of the benchmark suite.
+type Class int
+
+const (
+	// CNN models have a static DAG: the number of nodes to execute is
+	// known at compile time (Section V-B).
+	CNN Class = iota
+	// RNN models unroll their recurrent layers to an input-dependent
+	// sequence length, which PREMA predicts with the profile-driven
+	// regression model (Figures 8-9).
+	RNN
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case CNN:
+		return "CNN"
+	case RNN:
+		return "RNN"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// UnrollFunc materialises an RNN model's layer list for a concrete input
+// and (sampled or predicted) output sequence length.
+type UnrollFunc func(inLen, outLen int) []Layer
+
+// Model is one inference workload in the zoo: either a static CNN layer
+// list, or an RNN described by an unroll function plus a sequence-length
+// profile name resolved by package seqlen.
+type Model struct {
+	// Name is the paper's workload label, e.g. "CNN-VN" or "RNN-MT1".
+	Name string
+	// Class is CNN or RNN.
+	Class Class
+
+	// Static holds the layer list for CNN models.
+	Static []Layer
+
+	// Unroll produces the layer list for RNN models.
+	Unroll UnrollFunc
+	// SeqProfile names the seq2seq length-characterization profile
+	// (Figure 9) used to sample actual output lengths and to build the
+	// regression lookup table. Empty for CNNs.
+	SeqProfile string
+	// MinInLen and MaxInLen bound the profiled input sequence lengths.
+	MinInLen, MaxInLen int
+}
+
+// IsRNN reports whether the model unrolls dynamically.
+func (m *Model) IsRNN() bool { return m.Class == RNN }
+
+// LayersFor returns the concrete layer list for this model. CNNs ignore
+// the sequence lengths; RNNs unroll with them.
+func (m *Model) LayersFor(inLen, outLen int) []Layer {
+	if m.Class == CNN {
+		return m.Static
+	}
+	return m.Unroll(inLen, outLen)
+}
+
+// Validate checks the model definition: a CNN must have static layers and
+// every layer must be self-consistent; an RNN must have an unroll function
+// and valid length bounds.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("dnn: model without a name")
+	}
+	switch m.Class {
+	case CNN:
+		if len(m.Static) == 0 {
+			return fmt.Errorf("dnn: CNN model %q has no layers", m.Name)
+		}
+		for _, l := range m.Static {
+			if err := l.Validate(); err != nil {
+				return fmt.Errorf("model %q: %w", m.Name, err)
+			}
+		}
+	case RNN:
+		if m.Unroll == nil {
+			return fmt.Errorf("dnn: RNN model %q has no unroll function", m.Name)
+		}
+		if m.MinInLen <= 0 || m.MaxInLen < m.MinInLen {
+			return fmt.Errorf("dnn: RNN model %q has bad input-length bounds [%d,%d]",
+				m.Name, m.MinInLen, m.MaxInLen)
+		}
+		if m.SeqProfile == "" {
+			return fmt.Errorf("dnn: RNN model %q has no sequence profile", m.Name)
+		}
+		// Unroll a representative instance and validate it.
+		for _, l := range m.Unroll(m.MinInLen, m.MinInLen) {
+			if err := l.Validate(); err != nil {
+				return fmt.Errorf("model %q: %w", m.Name, err)
+			}
+		}
+	default:
+		return fmt.Errorf("dnn: model %q has unknown class %d", m.Name, int(m.Class))
+	}
+	return nil
+}
+
+// TotalMACs sums layer MACs for a concrete instantiation.
+func (m *Model) TotalMACs(batch, inLen, outLen int) int64 {
+	var total int64
+	for _, l := range m.LayersFor(inLen, outLen) {
+		total += l.MACs(batch)
+	}
+	return total
+}
+
+// TotalWeightBytes sums the (deduplicated, for RNNs) weight footprint of
+// the model. RNN cell weights are shared across timesteps, so unrolled
+// duplicates of the same named layer are counted once.
+func (m *Model) TotalWeightBytes(inLen, outLen int) int64 {
+	seen := make(map[string]bool)
+	var total int64
+	for _, l := range m.LayersFor(inLen, outLen) {
+		if seen[l.Name] {
+			continue
+		}
+		seen[l.Name] = true
+		total += Bytes(l.WeightElems())
+	}
+	return total
+}
+
+// MaxOutputBytes returns the largest single-layer output-activation
+// footprint of the instantiated model — an upper bound on checkpointed
+// live state for one in-flight layer.
+func (m *Model) MaxOutputBytes(batch, inLen, outLen int) int64 {
+	var max int64
+	for _, l := range m.LayersFor(inLen, outLen) {
+		if b := Bytes(l.OutputElems(batch)); b > max {
+			max = b
+		}
+	}
+	return max
+}

@@ -1,0 +1,52 @@
+package dnn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Suite returns the eight-model benchmark suite of Section III in the
+// paper's presentation order: CNN-AN/GN/VN/MN then RNN-SA/MT1/MT2/ASR.
+func Suite() []*Model {
+	return []*Model{
+		AlexNet(),
+		GoogLeNet(),
+		VGG16(),
+		MobileNet(),
+		SentimentAnalysis(),
+		TranslationDE(),
+		TranslationZH(),
+		SpeechRecognition(),
+	}
+}
+
+// All returns every model in the zoo, including the auxiliary models that
+// are not part of the default suite (CNN-RN for Figure 1, RNN-MT-KO for
+// sensitivity studies).
+func All() []*Model {
+	return append(Suite(), ResNet50(), TranslationKO())
+}
+
+// ByName looks a model up by its workload label.
+func ByName(name string) (*Model, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("dnn: unknown model %q (known: %v)", name, Names())
+}
+
+// Names returns the sorted labels of every model in the zoo.
+func Names() []string {
+	models := All()
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BatchSizes are the batch sizes the paper evaluates (Figures 5-6).
+var BatchSizes = []int{1, 4, 16}

@@ -1,0 +1,187 @@
+package dnn
+
+import "fmt"
+
+// This file encodes the CNN benchmark topologies of Section III:
+// CNN-AN (AlexNet), CNN-GN (GoogLeNet/Inception-v1), CNN-VN (VGG-16),
+// CNN-MN (MobileNet-v1), plus CNN-RN (ResNet-50), which the paper uses
+// only in the Figure 1 co-location motivation experiment.
+//
+// Layer shapes follow the published architectures; only shape information
+// is used (no weights), since the NPU timing model is shape-deterministic.
+
+// AlexNet returns the CNN-AN benchmark model.
+func AlexNet() *Model {
+	layers := []Layer{
+		NewConv("conv1", 227, 227, 3, 96, 11, 4, 0),
+		NewPool("pool1", 55, 55, 96, 3, 2, 0),
+		NewConv("conv2", 27, 27, 96, 256, 5, 1, 2),
+		NewPool("pool2", 27, 27, 256, 3, 2, 0),
+		NewConv("conv3", 13, 13, 256, 384, 3, 1, 1),
+		NewConv("conv4", 13, 13, 384, 384, 3, 1, 1),
+		NewConv("conv5", 13, 13, 384, 256, 3, 1, 1),
+		NewPool("pool5", 13, 13, 256, 3, 2, 0),
+		NewFC("fc6", 256*6*6, 4096, true),
+		NewFC("fc7", 4096, 4096, true),
+		NewFC("fc8", 4096, 1000, false),
+	}
+	return &Model{Name: "CNN-AN", Class: CNN, Static: layers}
+}
+
+// VGG16 returns the CNN-VN benchmark model (13 conv + 3 FC, matching the
+// c01..c13/fc1..fc2 labels of Figure 7).
+func VGG16() *Model {
+	var layers []Layer
+	conv := func(i int, hw, inC, outC int) {
+		layers = append(layers, NewConv(fmt.Sprintf("c%02d", i), hw, hw, inC, outC, 3, 1, 1))
+	}
+	pool := func(name string, hw, c int) {
+		layers = append(layers, NewPool(name, hw, hw, c, 2, 2, 0))
+	}
+	conv(1, 224, 3, 64)
+	conv(2, 224, 64, 64)
+	pool("pool1", 224, 64)
+	conv(3, 112, 64, 128)
+	conv(4, 112, 128, 128)
+	pool("pool2", 112, 128)
+	conv(5, 56, 128, 256)
+	conv(6, 56, 256, 256)
+	conv(7, 56, 256, 256)
+	pool("pool3", 56, 256)
+	conv(8, 28, 256, 512)
+	conv(9, 28, 512, 512)
+	conv(10, 28, 512, 512)
+	pool("pool4", 28, 512)
+	conv(11, 14, 512, 512)
+	conv(12, 14, 512, 512)
+	conv(13, 14, 512, 512)
+	pool("pool5", 14, 512)
+	layers = append(layers,
+		NewFC("fc1", 512*7*7, 4096, true),
+		NewFC("fc2", 4096, 4096, true),
+		NewFC("fc3", 4096, 1000, false),
+	)
+	return &Model{Name: "CNN-VN", Class: CNN, Static: layers}
+}
+
+// inceptionModule appends one GoogLeNet inception module's layers. Branch
+// channel counts follow the Inception-v1 table: n1 (1x1), n3r->n3
+// (1x1 reduce then 3x3), n5r->n5 (1x1 reduce then 5x5), np (pool proj).
+func inceptionModule(layers []Layer, name string, hw, inC, n1, n3r, n3, n5r, n5, np int) []Layer {
+	add := func(suffix string, l Layer) {
+		l.Name = name + "/" + suffix
+		layers = append(layers, l)
+	}
+	add("1x1", NewConv("", hw, hw, inC, n1, 1, 1, 0))
+	add("3x3r", NewConv("", hw, hw, inC, n3r, 1, 1, 0))
+	add("3x3", NewConv("", hw, hw, n3r, n3, 3, 1, 1))
+	add("5x5r", NewConv("", hw, hw, inC, n5r, 1, 1, 0))
+	add("5x5", NewConv("", hw, hw, n5r, n5, 5, 1, 2))
+	add("pool", NewPool("", hw, hw, inC, 3, 1, 1))
+	add("poolp", NewConv("", hw, hw, inC, np, 1, 1, 0))
+	return layers
+}
+
+// GoogLeNet returns the CNN-GN benchmark model (Inception-v1).
+func GoogLeNet() *Model {
+	var layers []Layer
+	layers = append(layers,
+		NewConv("conv1", 224, 224, 3, 64, 7, 2, 3),
+		NewPool("pool1", 112, 112, 64, 3, 2, 1),
+		NewConv("conv2r", 56, 56, 64, 64, 1, 1, 0),
+		NewConv("conv2", 56, 56, 64, 192, 3, 1, 1),
+		NewPool("pool2", 56, 56, 192, 3, 2, 1),
+	)
+	layers = inceptionModule(layers, "3a", 28, 192, 64, 96, 128, 16, 32, 32)
+	layers = inceptionModule(layers, "3b", 28, 256, 128, 128, 192, 32, 96, 64)
+	layers = append(layers, NewPool("pool3", 28, 28, 480, 3, 2, 1))
+	layers = inceptionModule(layers, "4a", 14, 480, 192, 96, 208, 16, 48, 64)
+	layers = inceptionModule(layers, "4b", 14, 512, 160, 112, 224, 24, 64, 64)
+	layers = inceptionModule(layers, "4c", 14, 512, 128, 128, 256, 24, 64, 64)
+	layers = inceptionModule(layers, "4d", 14, 512, 112, 144, 288, 32, 64, 64)
+	layers = inceptionModule(layers, "4e", 14, 528, 256, 160, 320, 32, 128, 128)
+	layers = append(layers, NewPool("pool4", 14, 14, 832, 3, 2, 1))
+	layers = inceptionModule(layers, "5a", 7, 832, 256, 160, 320, 32, 128, 128)
+	layers = inceptionModule(layers, "5b", 7, 832, 384, 192, 384, 48, 128, 128)
+	layers = append(layers,
+		NewPool("pool5", 7, 7, 1024, 7, 1, 0),
+		NewFC("fc", 1024, 1000, false),
+	)
+	return &Model{Name: "CNN-GN", Class: CNN, Static: layers}
+}
+
+// MobileNet returns the CNN-MN benchmark model (MobileNet-v1, width 1.0).
+// Its depthwise stages exercise the low-utilization code path of the
+// systolic array and its 1x1 pointwise convolutions populate the
+// low-effective-throughput region of Figure 10.
+func MobileNet() *Model {
+	var layers []Layer
+	idx := 0
+	dwpw := func(hw, inC, outC, stride int) {
+		idx++
+		outHW := spatialOut(hw, 3, stride, 1)
+		layers = append(layers,
+			NewDWConv(fmt.Sprintf("dw%d", idx), hw, hw, inC, 3, stride, 1),
+			NewConv(fmt.Sprintf("pw%d", idx), outHW, outHW, inC, outC, 1, 1, 0),
+		)
+	}
+	layers = append(layers, NewConv("conv1", 224, 224, 3, 32, 3, 2, 1))
+	dwpw(112, 32, 64, 1)
+	dwpw(112, 64, 128, 2)
+	dwpw(56, 128, 128, 1)
+	dwpw(56, 128, 256, 2)
+	dwpw(28, 256, 256, 1)
+	dwpw(28, 256, 512, 2)
+	for i := 0; i < 5; i++ {
+		dwpw(14, 512, 512, 1)
+	}
+	dwpw(14, 512, 1024, 2)
+	dwpw(7, 1024, 1024, 1)
+	layers = append(layers,
+		NewPool("avgpool", 7, 7, 1024, 7, 1, 0),
+		NewFC("fc", 1024, 1000, false),
+	)
+	return &Model{Name: "CNN-MN", Class: CNN, Static: layers}
+}
+
+// bottleneck appends one ResNet-50 bottleneck block (1x1 -> 3x3 -> 1x1),
+// optionally with a projection shortcut.
+func bottleneck(layers []Layer, name string, hw, inC, midC, outC, stride int, project bool) []Layer {
+	outHW := spatialOut(hw, 1, stride, 0)
+	layers = append(layers,
+		NewConv(name+"/1x1a", hw, hw, inC, midC, 1, stride, 0),
+		NewConv(name+"/3x3", outHW, outHW, midC, midC, 3, 1, 1),
+		NewConv(name+"/1x1b", outHW, outHW, midC, outC, 1, 1, 0),
+	)
+	if project {
+		layers = append(layers, NewConv(name+"/proj", hw, hw, inC, outC, 1, stride, 0))
+	}
+	return layers
+}
+
+// ResNet50 returns CNN-RN, used in the Figure 1 co-location motivation
+// experiment ("ResNet" co-located with GoogLeNet on one accelerator).
+func ResNet50() *Model {
+	var layers []Layer
+	layers = append(layers,
+		NewConv("conv1", 224, 224, 3, 64, 7, 2, 3),
+		NewPool("pool1", 112, 112, 64, 3, 2, 1),
+	)
+	stage := func(name string, hw, inC, midC, outC, blocks, stride int) int {
+		layers = bottleneck(layers, fmt.Sprintf("%s.0", name), hw, inC, midC, outC, stride, true)
+		outHW := spatialOut(hw, 1, stride, 0)
+		for b := 1; b < blocks; b++ {
+			layers = bottleneck(layers, fmt.Sprintf("%s.%d", name, b), outHW, outC, midC, outC, 1, false)
+		}
+		return outHW
+	}
+	hw := stage("res2", 56, 64, 64, 256, 3, 1)
+	hw = stage("res3", hw, 256, 128, 512, 4, 2)
+	hw = stage("res4", hw, 512, 256, 1024, 6, 2)
+	hw = stage("res5", hw, 1024, 512, 2048, 3, 2)
+	layers = append(layers,
+		NewPool("avgpool", hw, hw, 2048, hw, 1, 0),
+		NewFC("fc", 2048, 1000, false),
+	)
+	return &Model{Name: "CNN-RN", Class: CNN, Static: layers}
+}

@@ -1,0 +1,290 @@
+// Package exp contains one self-contained experiment per figure and table
+// of the paper's evaluation (Section VI plus the motivation and
+// characterization figures). Each experiment regenerates the rows or
+// series the paper reports — the same workloads, parameter sweeps,
+// baselines and metrics — against this repository's NPU simulator, and
+// returns text tables that cmd/premabench prints and bench_test.go wraps.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/npu"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Table is one regenerated figure panel or table.
+type Table struct {
+	// ID matches the DESIGN.md experiment index ("fig5a", "fig12", ...).
+	ID string
+	// Title describes what the paper's counterpart shows.
+	Title string
+	// Headers are the column names.
+	Headers []string
+	// Rows are the data rows, already formatted.
+	Rows [][]string
+	// Note carries the paper-reported headline for easy comparison.
+	Note string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	row(t.Headers)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Suite is the shared experiment context: one NPU configuration, one
+// workload generator (with its compiled-program cache and seq-length
+// profiles), and the run-count/seed the evaluation uses.
+type Suite struct {
+	NPU   npu.Config
+	Sched sched.Config
+	Gen   *workload.Generator
+	// Runs is the number of simulation runs averaged per configuration
+	// (the paper uses 25).
+	Runs int
+	// Seed drives all workload randomness deterministically.
+	Seed uint64
+}
+
+// NewSuite builds the default experiment suite.
+func NewSuite() (*Suite, error) {
+	cfg := npu.DefaultConfig()
+	gen, err := workload.NewGenerator(cfg, 0xA11CE)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		NPU:   cfg,
+		Sched: sched.DefaultConfig(),
+		Gen:   gen,
+		Runs:  25,
+		Seed:  0xBEEF,
+	}, nil
+}
+
+// SchedulerConfig identifies one evaluated scheduler configuration.
+type SchedulerConfig struct {
+	// Label is the figure legend name ("NP-FCFS", "Dynamic-PREMA", ...).
+	Label string
+	// Policy is the sched.ByName policy label.
+	Policy string
+	// Preemptive enables the preemption path.
+	Preemptive bool
+	// Selector is the sched.SelectorByName label (empty for NP-*).
+	Selector string
+}
+
+// NP returns the non-preemptive configuration for a policy.
+func NP(policy string) SchedulerConfig {
+	return SchedulerConfig{Label: "NP-" + policy, Policy: policy}
+}
+
+// StaticCkpt returns the preemptive, always-CHECKPOINT configuration.
+func StaticCkpt(policy string) SchedulerConfig {
+	return SchedulerConfig{Label: "Static-" + policy, Policy: policy,
+		Preemptive: true, Selector: "static-checkpoint"}
+}
+
+// StaticKill returns the preemptive, always-KILL configuration.
+func StaticKill(policy string) SchedulerConfig {
+	return SchedulerConfig{Label: "StaticKill-" + policy, Policy: policy,
+		Preemptive: true, Selector: "static-kill"}
+}
+
+// DynamicCkpt returns the Algorithm 3 configuration with CHECKPOINT
+// saving.
+func DynamicCkpt(policy string) SchedulerConfig {
+	return SchedulerConfig{Label: "Dynamic-" + policy, Policy: policy,
+		Preemptive: true, Selector: "dynamic-checkpoint"}
+}
+
+// DynamicKill returns the Algorithm 3 configuration with KILL saving
+// (Figure 15 sensitivity).
+func DynamicKill(policy string) SchedulerConfig {
+	return SchedulerConfig{Label: "DynamicKill-" + policy, Policy: policy,
+		Preemptive: true, Selector: "dynamic-kill"}
+}
+
+// MultiResult aggregates a configuration's outcome across runs.
+type MultiResult struct {
+	Config SchedulerConfig
+	Agg    metrics.Aggregate
+	// Tasks pools every completed task of every run (for SLA and tail
+	// statistics across the whole experiment).
+	Tasks []*sched.Task
+	// Preemptions pools every preemption event.
+	Preemptions []sim.PreemptionEvent
+}
+
+// RunMulti executes runs simulations of cfg over workloads drawn from
+// spec. The r-th run of every configuration regenerates the identical
+// workload (same RNG stream), so configurations are compared on exactly
+// the same task mixes.
+func (s *Suite) RunMulti(cfg SchedulerConfig, spec workload.Spec, runs int) (*MultiResult, error) {
+	if runs <= 0 {
+		runs = s.Runs
+	}
+	policy, err := sched.ByName(cfg.Policy, s.Sched)
+	if err != nil {
+		return nil, err
+	}
+	var selector sched.MechanismSelector
+	if cfg.Selector != "" {
+		selector, err = sched.SelectorByName(cfg.Selector)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &MultiResult{Config: cfg}
+	var perRun []metrics.Run
+	for r := 0; r < runs; r++ {
+		rng := workload.RNGFor(s.Seed, r)
+		tasks, err := s.Gen.Generate(spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		simulator, err := sim.New(sim.Options{
+			NPU: s.NPU, Sched: s.Sched,
+			Policy: policy, Preemptive: cfg.Preemptive, Selector: selector,
+		}, workload.SchedTasks(tasks))
+		if err != nil {
+			return nil, err
+		}
+		res, err := simulator.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s run %d: %w", cfg.Label, r, err)
+		}
+		m, err := metrics.FromTasks(res.Tasks)
+		if err != nil {
+			return nil, err
+		}
+		perRun = append(perRun, m)
+		out.Tasks = append(out.Tasks, res.Tasks...)
+		out.Preemptions = append(out.Preemptions, res.Preemptions...)
+	}
+	out.Agg = metrics.Averaged(perRun)
+	return out, nil
+}
+
+// Experiment is a runnable evaluation entry.
+type Experiment struct {
+	// ID is the registry key ("fig11").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Run regenerates the experiment's tables.
+	Run func(s *Suite) ([]*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns one registered experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists the registered experiment identifiers in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// All returns the registered experiments in ID order.
+func All() []Experiment {
+	var out []Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestAllExperimentsProduceTables runs every registered experiment with a
+// reduced run count and validates the output structure: at least one
+// table, consistent row widths, and non-empty cells in the first column.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	s, err := NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Runs = 3
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(s)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tbl := range tables {
+				if tbl.ID == "" || tbl.Title == "" {
+					t.Errorf("%s: table missing ID/title", e.ID)
+				}
+				if len(tbl.Headers) == 0 || len(tbl.Rows) == 0 {
+					t.Errorf("%s/%s: empty table", e.ID, tbl.ID)
+				}
+				for i, row := range tbl.Rows {
+					if len(row) != len(tbl.Headers) {
+						t.Errorf("%s/%s row %d: %d cells vs %d headers",
+							e.ID, tbl.ID, i, len(row), len(tbl.Headers))
+					}
+					if strings.TrimSpace(row[0]) == "" {
+						t.Errorf("%s/%s row %d: empty label", e.ID, tbl.ID, i)
+					}
+				}
+				// Both renderings must succeed.
+				if tbl.String() == "" || tbl.CSV() == "" {
+					t.Errorf("%s/%s: empty rendering", e.ID, tbl.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestClusterExperimentShape(t *testing.T) {
+	s := fastSuite(t)
+	tables, err := runCluster(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	// PREMA must beat FCFS at every node size, and 4 NPUs must beat
+	// 1 NPU for the same local scheduler.
+	antt := map[string]float64{}
+	for _, r := range tbl.Rows {
+		antt[r[0]+"/"+r[1]+"/"+r[2]] = parse(t, r[3])
+	}
+	if antt["1/round-robin/Dynamic-PREMA"] >= antt["1/round-robin/NP-FCFS"] {
+		t.Error("single-NPU PREMA should beat FCFS")
+	}
+	if antt["4/round-robin/Dynamic-PREMA"] >= antt["1/round-robin/Dynamic-PREMA"] {
+		t.Error("4 NPUs should beat 1 NPU for the same scheduler")
+	}
+}
+
+func TestKillGranularityOrdering(t *testing.T) {
+	s := fastSuite(t)
+	tables, err := runKillGranularity(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	wasted := map[string]float64{}
+	for _, r := range rows {
+		wasted[r[0]] = parse(t, r[4])
+	}
+	if wasted["static-checkpoint"] != 0 {
+		t.Error("checkpoint should waste nothing")
+	}
+	if !(wasted["static-kill-layer"] <= wasted["static-kill"]) {
+		t.Errorf("layer-granularity restart should waste no more than scratch: %v vs %v",
+			wasted["static-kill-layer"], wasted["static-kill"])
+	}
+}
+
+func TestEnergyExperimentShape(t *testing.T) {
+	s := fastSuite(t)
+	tables, err := runEnergy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, r := range tables[0].Rows {
+		rows[r[0]] = r
+	}
+	prema := parse(t, rows["Dynamic-PREMA"][8])
+	kill := parse(t, rows["StaticKill-PREMA"][8])
+	if prema > 1.02 {
+		t.Errorf("PREMA energy overhead %.3fx should be negligible", prema)
+	}
+	if kill <= prema {
+		t.Errorf("KILL (%.3fx) should burn more energy than CHECKPOINT-based PREMA (%.3fx)",
+			kill, prema)
+	}
+}
+
+func TestOverheadTables(t *testing.T) {
+	s := fastSuite(t)
+	tables, err := runOverhead(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sram := tables[0]
+	// 16-task row must show 7168 bits (Section VI-F).
+	found := false
+	for _, r := range sram.Rows {
+		if r[0] == "16" && r[1] == "7168" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("context-table SRAM row for 16 tasks should show 7168 bits")
+	}
+	storage := tables[1]
+	// CNN-VN at b16 must reach hundreds of MBs of total activations.
+	for _, r := range storage.Rows {
+		if r[0] == "CNN-VN" && r[1] == "b16" {
+			if v := parse(t, r[3]); v < 100 {
+				t.Errorf("VGG b16 activation footprint %.1f MB; Section VI-G expects hundreds", v)
+			}
+		}
+	}
+}
+
+func TestFig9PanelsMonotone(t *testing.T) {
+	s := fastSuite(t)
+	tables, err := runFig9(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("fig9 should regenerate 4 panels, got %d", len(tables))
+	}
+	for _, tbl := range tables {
+		// Median output length must grow with input length.
+		prev := -1.0
+		for _, r := range tbl.Rows {
+			med := parse(t, r[3])
+			if med < prev*0.8 {
+				t.Errorf("%s: medians not roughly monotone (%v after %v)", tbl.ID, med, prev)
+			}
+			prev = med
+		}
+	}
+}
+
+func TestFig10FlagsKnownOutliers(t *testing.T) {
+	s := fastSuite(t)
+	tables, err := runFig10(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := map[string]bool{}
+	for _, r := range tables[0].Rows {
+		if r[6] == "YES" {
+			flagged[r[0]+"/"+r[1]] = true
+		}
+	}
+	// Batch-1 FC classifier layers are canonical low-utilization cases.
+	if !flagged["CNN-AN/fc8"] {
+		t.Error("AlexNet fc8 at batch 1 should be flagged as underutilized")
+	}
+	if len(flagged) < 5 {
+		t.Errorf("only %d outliers flagged; Figure 10 shows a populated region", len(flagged))
+	}
+}
+
+func TestPredictorAblationOrdering(t *testing.T) {
+	s := fastSuite(t)
+	tables, err := runPredictorAblation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tables[0].Rows {
+		analytic, prof, proxy := parse(t, r[1]), parse(t, r[2]), parse(t, r[3])
+		if proxy < analytic {
+			t.Errorf("%s: MAC proxy (%.2f%%) should not beat the analytic model (%.2f%%)",
+				r[0], proxy, analytic)
+		}
+		_ = prof
+	}
+}
+
+var _ = workload.Spec{}

@@ -1,0 +1,171 @@
+package npu
+
+import "fmt"
+
+// Execution is a resumable cursor over a compiled Program. The multi-task
+// simulator advances it by cycle budgets, interrogates it for the next
+// preemption boundary (GEMM_OP commit, footnote 2 of the paper), reads the
+// checkpointable live state, and resets it when the KILL mechanism discards
+// in-flight work.
+//
+// The zero value is not usable; construct with NewExecution.
+type Execution struct {
+	prog *Program
+	pc   int   // index of the instruction currently in flight
+	rem  int64 // cycles remaining in the in-flight instruction
+	done int64 // cycles executed so far
+}
+
+// NewExecution returns a cursor positioned at the start of prog.
+func NewExecution(prog *Program) *Execution {
+	e := &Execution{prog: prog}
+	e.reset()
+	return e
+}
+
+func (e *Execution) reset() {
+	e.pc = 0
+	e.done = 0
+	e.rem = 0
+	if len(e.prog.Instrs) > 0 {
+		e.rem = int64(e.prog.Instrs[0].Cycles)
+	}
+	e.skipZero()
+}
+
+// skipZero advances past zero-latency instructions so the cursor always
+// rests on work (or the end of the program).
+func (e *Execution) skipZero() {
+	for e.pc < len(e.prog.Instrs) && e.rem == 0 {
+		e.pc++
+		if e.pc < len(e.prog.Instrs) {
+			e.rem = int64(e.prog.Instrs[e.pc].Cycles)
+		}
+	}
+}
+
+// Program returns the program being executed.
+func (e *Execution) Program() *Program { return e.prog }
+
+// Done reports whether the program has fully committed.
+func (e *Execution) Done() bool { return e.pc >= len(e.prog.Instrs) }
+
+// Executed returns the cycles executed so far.
+func (e *Execution) Executed() int64 { return e.done }
+
+// Remaining returns the cycles left until completion.
+func (e *Execution) Remaining() int64 { return e.prog.TotalCycles - e.done }
+
+// Advance executes up to budget cycles and returns the cycles actually
+// consumed (less than budget only when the program completes first). It
+// may stop mid-instruction; scheduling-quantum expiry does not itself
+// force a preemption boundary.
+func (e *Execution) Advance(budget int64) int64 {
+	if budget < 0 {
+		panic(fmt.Sprintf("npu: negative advance budget %d", budget))
+	}
+	var used int64
+	for budget > 0 && !e.Done() {
+		step := e.rem
+		if step > budget {
+			step = budget
+		}
+		e.rem -= step
+		e.done += step
+		used += step
+		budget -= step
+		if e.rem == 0 {
+			e.pc++
+			if e.pc < len(e.prog.Instrs) {
+				e.rem = int64(e.prog.Instrs[e.pc].Cycles)
+			}
+			e.skipZero()
+		}
+	}
+	return used
+}
+
+// CyclesToBoundary returns the cycles needed to finish the in-flight
+// instruction — the earliest point at which a CHECKPOINT preemption can be
+// serviced (the trap routine runs after the current GEMM_OP commits,
+// Section IV-C). Zero when the cursor already rests on a boundary or the
+// program is done.
+func (e *Execution) CyclesToBoundary() int64 {
+	if e.Done() {
+		return 0
+	}
+	if e.rem == int64(e.prog.Instrs[e.pc].Cycles) {
+		// Nothing of the in-flight instruction has executed yet: the
+		// cursor is exactly on a commit boundary.
+		return 0
+	}
+	return e.rem
+}
+
+// LiveBytes returns the checkpointable on-chip context at the last
+// committed instruction boundary. Callers must advance to a boundary
+// (CyclesToBoundary() == 0) before checkpointing; LiveBytes tolerates
+// mid-instruction cursors by reporting the previously committed state.
+func (e *Execution) LiveBytes() int64 {
+	idx := e.pc
+	if !e.Done() && e.rem < int64(e.prog.Instrs[e.pc].Cycles) {
+		// In-flight instruction has partially executed; its commit
+		// state is not yet architecturally visible.
+		idx = e.pc
+	}
+	// The state after the previous commit is attached to instrs[pc-1].
+	if idx == 0 {
+		return 0
+	}
+	return e.prog.Instrs[idx-1].LiveBytes
+}
+
+// Kill discards all progress: the KILL preemption mechanism terminates the
+// task immediately without checkpointing, and the inference later restarts
+// from scratch (Section IV-C).
+func (e *Execution) Kill() { e.reset() }
+
+// KillToLayerStart discards only the current layer's in-flight progress,
+// rewinding the cursor to the first instruction of the layer being
+// executed. This models the milder restart granularity the paper's
+// footnote 2 permits — preemption points on tile boundaries with
+// re-execution from the last architecturally complete layer — and returns
+// the cycles of work discarded. A completed program is left untouched.
+func (e *Execution) KillToLayerStart() (wasted int64) {
+	if e.Done() {
+		return 0
+	}
+	layer := e.prog.Instrs[e.pc].Layer
+	start := e.pc
+	for start > 0 && e.prog.Instrs[start-1].Layer == layer {
+		start--
+	}
+	// Cycles completed within the layer: full instructions since start
+	// plus the partially executed one.
+	for i := start; i < e.pc; i++ {
+		wasted += int64(e.prog.Instrs[i].Cycles)
+	}
+	wasted += int64(e.prog.Instrs[e.pc].Cycles) - e.rem
+	e.pc = start
+	e.done -= wasted
+	e.rem = int64(e.prog.Instrs[start].Cycles)
+	e.skipZero()
+	return wasted
+}
+
+// Progress returns the executed fraction in [0,1].
+func (e *Execution) Progress() float64 {
+	if e.prog.TotalCycles == 0 {
+		return 1
+	}
+	return float64(e.done) / float64(e.prog.TotalCycles)
+}
+
+// CurrentLayer returns the layer index of the in-flight instruction, or -1
+// once the program has completed.
+func (e *Execution) CurrentLayer() int {
+	if e.Done() {
+		return -1
+	}
+	return int(e.prog.Instrs[e.pc].Layer)
+}

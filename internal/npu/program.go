@@ -1,0 +1,110 @@
+package npu
+
+import "fmt"
+
+// Op is a CISC opcode of the NPU ISA (Section II-B). The performance model
+// simulates at committed-instruction granularity: LOAD_TILE/STORE_TILE
+// traffic that double-buffering fully overlaps with compute is folded into
+// the effective latency of the GEMM_OP/CONV_OP it overlaps with, while
+// non-overlappable transfers (per-layer weight preambles, output spills)
+// appear as their own instructions.
+type Op uint8
+
+const (
+	// LoadTile moves activations or weights from DRAM into UBUF or the
+	// weight buffer.
+	LoadTile Op = iota
+	// GEMMOp multiplies a latched weight tile with streamed activations.
+	GEMMOp
+	// ConvOp is a lowered convolution executed as a GEMM (Section II-B).
+	ConvOp
+	// VectorOp applies element-wise math on the vector unit.
+	VectorOp
+	// StoreTile moves output activations from UBUF back to DRAM.
+	StoreTile
+)
+
+var opNames = [...]string{"LOAD_TILE", "GEMM_OP", "CONV_OP", "VECTOR_OP", "STORE_TILE"}
+
+// String returns the ISA mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Instr is one committed instruction with its effective latency
+// contribution under the double-buffered dataflow.
+type Instr struct {
+	// Op is the ISA opcode.
+	Op Op
+	// Layer indexes the instantiated layer list the program was
+	// compiled from.
+	Layer int32
+	// Cycles is the instruction's effective latency: for GEMM_OP and
+	// CONV_OP tiles this is max(compute, memory) per Algorithm 1's
+	// double-buffering model.
+	Cycles int32
+	// LiveBytes is the checkpointable on-chip context (output
+	// activations resident in UBUF/ACCQ, Section IV-B) immediately
+	// after this instruction commits. Preemption via CHECKPOINT at
+	// this boundary must persist exactly these bytes.
+	LiveBytes int64
+}
+
+// Program is a compiled instruction stream for one inference task
+// instance, together with summary statistics the scheduler and the
+// metrics pipeline need.
+type Program struct {
+	// Model is the workload label the program was compiled from.
+	Model string
+	// Batch is the inference batch size.
+	Batch int
+	// InLen and OutLen are the sequence lengths of an RNN instance
+	// (zero for CNNs).
+	InLen, OutLen int
+	// Instrs is the committed instruction stream.
+	Instrs []Instr
+	// TotalCycles is the isolated, uninterrupted execution time.
+	TotalCycles int64
+	// TotalMACs is the arithmetic work represented by the program.
+	TotalMACs int64
+	// Layers is the number of instantiated layers.
+	Layers int
+}
+
+// Validate checks program invariants: positive latencies, non-negative
+// live state, and a consistent total.
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("npu: program %q has no instructions", p.Model)
+	}
+	var sum int64
+	for i, in := range p.Instrs {
+		if in.Cycles < 0 {
+			return fmt.Errorf("npu: program %q instr %d has negative cycles", p.Model, i)
+		}
+		if in.LiveBytes < 0 {
+			return fmt.Errorf("npu: program %q instr %d has negative live bytes", p.Model, i)
+		}
+		sum += int64(in.Cycles)
+	}
+	if sum != p.TotalCycles {
+		return fmt.Errorf("npu: program %q total %d != instruction sum %d",
+			p.Model, p.TotalCycles, sum)
+	}
+	return nil
+}
+
+// MaxLiveBytes returns the largest checkpointable context across all
+// preemption points of the program.
+func (p *Program) MaxLiveBytes() int64 {
+	var max int64
+	for _, in := range p.Instrs {
+		if in.LiveBytes > max {
+			max = in.LiveBytes
+		}
+	}
+	return max
+}

@@ -1,0 +1,126 @@
+// Package preempt implements the three NPU preemption mechanisms of
+// Section IV: CHECKPOINT (save the live on-chip context to memory and
+// context-switch), KILL (terminate immediately, discarding in-flight work;
+// the inference later restarts from scratch), and DRAIN (let the current
+// inference run to completion before the preempting task is scheduled).
+//
+// The mechanism costs follow Section IV-C/D: CHECKPOINT pays a DMA burst
+// proportional to the live output activations in UBUF/ACCQ (tens of
+// microseconds at worst), KILL pays nothing up front but wastes all
+// executed cycles, and DRAIN pays nothing but delays the preempting task
+// by the current task's remaining execution time.
+package preempt
+
+import (
+	"fmt"
+
+	"repro/internal/npu"
+)
+
+// Mechanism identifies a preemption mechanism.
+type Mechanism int
+
+const (
+	// Checkpoint saves the preempted task's context and context
+	// switches (Section IV-C).
+	Checkpoint Mechanism = iota
+	// Kill terminates the running inference without checkpointing.
+	Kill
+	// Drain waits for the running inference to finish; strictly
+	// speaking not a preemption, but PREMA leverages it as a
+	// scheduling tool (Algorithm 3).
+	Drain
+	// KillLayer terminates immediately like Kill but re-executes only
+	// from the start of the in-flight layer rather than from scratch —
+	// the milder restart granularity footnote 2 of the paper permits
+	// (preemption points on tile boundaries). Provided as an ablation
+	// of the KILL design point.
+	KillLayer
+)
+
+var mechNames = [...]string{"CHECKPOINT", "KILL", "DRAIN", "KILL_LAYER"}
+
+// String returns the paper's name for the mechanism.
+func (m Mechanism) String() string {
+	if int(m) >= 0 && int(m) < len(mechNames) {
+		return mechNames[m]
+	}
+	return fmt.Sprintf("Mechanism(%d)", int(m))
+}
+
+// Cost quantifies one preemption event.
+type Cost struct {
+	// Mechanism that was applied.
+	Mechanism Mechanism
+	// BoundaryCycles is the time spent finishing the in-flight
+	// instruction before the trap routine could run (the preemption
+	// point sits on GEMM_OP commit boundaries, footnote 2).
+	BoundaryCycles int64
+	// SaveCycles is the checkpoint DMA latency (zero for KILL/DRAIN).
+	SaveCycles int64
+	// SavedBytes is the checkpointed context size (zero for KILL/DRAIN).
+	SavedBytes int64
+	// WastedCycles is executed work discarded by KILL.
+	WastedCycles int64
+}
+
+// Latency is the preemption latency as defined in Figure 5(a): the time
+// from the preemption decision until the NPU is free for the preempting
+// task (boundary completion plus checkpoint DMA). DRAIN reports zero here;
+// its cost appears entirely as the preempting task's wait time.
+func (c Cost) Latency() int64 {
+	if c.Mechanism == Drain {
+		return 0
+	}
+	return c.BoundaryCycles + c.SaveCycles
+}
+
+// Apply executes the chosen mechanism against a running execution cursor
+// and returns its cost. For Checkpoint the cursor is advanced to the next
+// instruction boundary and its live context is sized and "saved"; for Kill
+// the cursor is reset; for Drain nothing happens (the caller keeps running
+// the task to completion).
+func Apply(cfg npu.Config, m Mechanism, exec *npu.Execution) Cost {
+	switch m {
+	case Checkpoint:
+		boundary := exec.CyclesToBoundary()
+		if boundary > 0 {
+			exec.Advance(boundary)
+		}
+		live := exec.LiveBytes()
+		return Cost{
+			Mechanism:      Checkpoint,
+			BoundaryCycles: boundary,
+			SaveCycles:     cfg.CheckpointCycles(live),
+			SavedBytes:     live,
+		}
+	case Kill:
+		wasted := exec.Executed()
+		exec.Kill()
+		return Cost{Mechanism: Kill, WastedCycles: wasted}
+	case KillLayer:
+		wasted := exec.KillToLayerStart()
+		return Cost{Mechanism: KillLayer, WastedCycles: wasted}
+	case Drain:
+		return Cost{Mechanism: Drain}
+	default:
+		panic(fmt.Sprintf("preempt: unknown mechanism %d", int(m)))
+	}
+}
+
+// RestoreCycles is the latency of restoring a previously checkpointed
+// context when the preempted task is rescheduled.
+func RestoreCycles(cfg npu.Config, savedBytes int64) int64 {
+	return cfg.RestoreCycles(savedBytes)
+}
+
+// ContextTableEntryBits is the per-task SRAM cost of the inference task
+// context table (Figure 4): seven 64-bit fields (TaskID, priority, token,
+// executed, waited, estimated, state) as computed in Section VI-F.
+const ContextTableEntryBits = 64 * 7
+
+// ContextTableBits returns the SRAM footprint, in bits, of tracking the
+// given number of co-located tasks (Section VI-F: 16 tasks -> 448*16 bits).
+func ContextTableBits(tasks int) int64 {
+	return int64(tasks) * ContextTableEntryBits
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/preempt"
+)
+
+// MechanismSelector chooses which preemption mechanism services a
+// policy-recommended preemption (step 2 of PREMA's two-step procedure,
+// Section V-C).
+type MechanismSelector interface {
+	// Name labels the configuration ("static-checkpoint", "dynamic", ...).
+	Name() string
+	// Select picks the mechanism for preempting current in favor of
+	// candidate.
+	Select(current, candidate *Task) preempt.Mechanism
+}
+
+// Static always applies one mechanism (the "static" configurations of
+// Figures 12 and 15).
+type Static struct {
+	M preempt.Mechanism
+}
+
+// Name implements MechanismSelector.
+func (s Static) Name() string { return "static-" + s.M.String() }
+
+// Select implements MechanismSelector.
+func (s Static) Select(current, candidate *Task) preempt.Mechanism { return s.M }
+
+// Dynamic implements Algorithm 3: it compares the relative degradations
+// the two tasks would suffer and chooses DRAIN when letting the (nearly
+// finished) current task complete hurts the candidate less than
+// preempting would hurt the current task; otherwise it preempts via the
+// configured saving mechanism (CHECKPOINT by default, KILL for the
+// Figure 15 sensitivity study).
+type Dynamic struct {
+	// Saving is the mechanism applied when Algorithm 3 decides to
+	// preempt. Must be Checkpoint or Kill.
+	Saving preempt.Mechanism
+}
+
+// NewDynamic returns the default dynamic selector (CHECKPOINT saving).
+func NewDynamic() Dynamic { return Dynamic{Saving: preempt.Checkpoint} }
+
+// Name implements MechanismSelector.
+func (d Dynamic) Name() string { return "dynamic-" + d.Saving.String() }
+
+// Select implements MechanismSelector (Algorithm 3).
+func (d Dynamic) Select(current, candidate *Task) preempt.Mechanism {
+	if current == nil {
+		return d.Saving
+	}
+	curRemaining := float64(current.EstimatedRemaining())
+	candRemaining := float64(candidate.EstimatedRemaining())
+	curEstimated := float64(current.EstimatedCycles)
+	candEstimated := float64(candidate.EstimatedCycles)
+	if curEstimated <= 0 || candEstimated <= 0 {
+		return d.Saving
+	}
+	// Degradation the current task suffers if preempted: it idles for
+	// the candidate's remaining execution, relative to its own length.
+	degCurrent := candRemaining / curEstimated
+	// Degradation the candidate suffers under DRAIN: it idles for the
+	// current task's remaining execution, relative to its own length.
+	degCandidate := curRemaining / candEstimated
+	if degCurrent > degCandidate {
+		return preempt.Drain
+	}
+	return d.Saving
+}
+
+// SelectorByName constructs a mechanism selector by configuration label.
+func SelectorByName(name string) (MechanismSelector, error) {
+	switch name {
+	case "static-checkpoint", "static":
+		return Static{M: preempt.Checkpoint}, nil
+	case "static-kill":
+		return Static{M: preempt.Kill}, nil
+	case "static-kill-layer":
+		return Static{M: preempt.KillLayer}, nil
+	case "static-drain":
+		return Static{M: preempt.Drain}, nil
+	case "dynamic", "dynamic-checkpoint":
+		return NewDynamic(), nil
+	case "dynamic-kill":
+		return Dynamic{Saving: preempt.Kill}, nil
+	case "dynamic-kill-layer":
+		return Dynamic{Saving: preempt.KillLayer}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown mechanism selector %q", name)
+	}
+}

@@ -1,0 +1,341 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Config holds the PREMA scheduler configuration (Table II).
+type Config struct {
+	// Quantum is the scheduling period time-quota (0.25 ms).
+	Quantum time.Duration
+	// TokenThresholdLevels are the token values the candidate threshold
+	// is rounded down to ({1,3,9}, i.e. the per-priority grants).
+	TokenThresholdLevels []float64
+}
+
+// DefaultConfig returns Table II's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Quantum:              250 * time.Microsecond,
+		TokenThresholdLevels: []float64{1, 3, 9},
+	}
+}
+
+// Decision is a scheduling policy's recommendation at one wake-up.
+type Decision struct {
+	// Candidate is the task the policy wants on the NPU next (nil when
+	// the ready queue is empty).
+	Candidate *Task
+	// Preempt reports whether the policy recommends preempting the
+	// currently running task in favor of Candidate. Always false when
+	// the NPU is idle or the policy is used non-preemptively.
+	Preempt bool
+}
+
+// Policy selects which task to run. Implementations are pure decision
+// logic over the context table; the simulator owns time and mechanisms.
+type Policy interface {
+	// Name is the evaluation label (e.g. "FCFS", "PREMA").
+	Name() string
+	// UsesPredictor reports whether the policy consults task length
+	// estimates (TOKEN, SJF and PREMA do; Figure 11's caption).
+	UsesPredictor() bool
+	// Pick chooses a candidate from the ready tasks, given the
+	// currently running task (nil when the NPU is idle) and the
+	// current cycle. ready is never empty. Implementations must not
+	// retain ready.
+	Pick(ready []*Task, current *Task, now int64) Decision
+}
+
+// tieBreak orders two tasks deterministically: earlier arrival first,
+// then lower ID.
+func tieBreak(a, b *Task) bool {
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.ID < b.ID
+}
+
+// pickBy returns the ready task minimizing less (a strict weak order).
+func pickBy(ready []*Task, less func(a, b *Task) bool) *Task {
+	best := ready[0]
+	for _, t := range ready[1:] {
+		if less(t, best) {
+			best = t
+		}
+	}
+	return best
+}
+
+// FCFS is the baseline first-come first-serve policy of TensorRT
+// Inference Server (Section I). Non-preemptive by construction: it never
+// recommends preemption.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// UsesPredictor implements Policy.
+func (FCFS) UsesPredictor() bool { return false }
+
+// Pick implements Policy.
+func (FCFS) Pick(ready []*Task, current *Task, now int64) Decision {
+	return Decision{Candidate: pickBy(ready, tieBreak)}
+}
+
+// RRB schedules round-robin among the co-located tasks: at each decision
+// it picks the ready task least-recently scheduled (by last run start),
+// cycling through the task mix.
+type RRB struct{}
+
+// Name implements Policy.
+func (RRB) Name() string { return "RRB" }
+
+// UsesPredictor implements Policy.
+func (RRB) UsesPredictor() bool { return false }
+
+// Pick implements Policy.
+func (RRB) Pick(ready []*Task, current *Task, now int64) Decision {
+	cand := pickBy(ready, func(a, b *Task) bool {
+		// Never-run tasks (Start < 0) sort before previously-run
+		// ones; among equals, FCFS order.
+		as, bs := a.Start, b.Start
+		if as != bs {
+			return as < bs
+		}
+		return tieBreak(a, b)
+	})
+	return Decision{Candidate: cand}
+}
+
+// HPF is the high-priority-first policy (Figure 2(b)/(c)). Preemptive use
+// recommends preemption when the candidate's priority strictly exceeds
+// the running task's.
+type HPF struct{}
+
+// Name implements Policy.
+func (HPF) Name() string { return "HPF" }
+
+// UsesPredictor implements Policy.
+func (HPF) UsesPredictor() bool { return false }
+
+// Pick implements Policy.
+func (HPF) Pick(ready []*Task, current *Task, now int64) Decision {
+	cand := pickBy(ready, func(a, b *Task) bool {
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		return tieBreak(a, b)
+	})
+	return Decision{
+		Candidate: cand,
+		Preempt:   current != nil && cand.Priority > current.Priority,
+	}
+}
+
+// SJF schedules the shortest estimated job first using the prediction
+// model — latency-optimal but priority-unaware (Section VI-A). Preemptive
+// use recommends preemption when the candidate's estimated remaining time
+// is strictly below the running task's.
+type SJF struct{}
+
+// Name implements Policy.
+func (SJF) Name() string { return "SJF" }
+
+// UsesPredictor implements Policy.
+func (SJF) UsesPredictor() bool { return true }
+
+// Pick implements Policy.
+func (SJF) Pick(ready []*Task, current *Task, now int64) Decision {
+	cand := pickBy(ready, func(a, b *Task) bool {
+		ar, br := a.EstimatedRemaining(), b.EstimatedRemaining()
+		if ar != br {
+			return ar < br
+		}
+		return tieBreak(a, b)
+	})
+	return Decision{
+		Candidate: cand,
+		Preempt:   current != nil && cand.EstimatedRemaining() < current.EstimatedRemaining(),
+	}
+}
+
+// tokenFramework implements the shared token accounting of TOKEN and
+// PREMA (Algorithm 2): periodic priority- and slowdown-proportional token
+// grants, and threshold-based candidate-group selection.
+type tokenFramework struct {
+	cfg Config
+}
+
+// UpdateTokens applies Algorithm 2 line 7 to every waiting task: each
+// task receives UserDefinedPriority x Slowdown_normalized additional
+// tokens for the ready-queue idle time accrued since the last scheduling
+// event. The simulator calls this at every scheduler wake-up.
+func UpdateTokens(tasks []*Task, now int64) {
+	for _, t := range tasks {
+		if t.State != Waiting {
+			t.AccrueWait(now)
+			continue
+		}
+		before := t.Waited
+		t.AccrueWait(now)
+		delta := t.Waited - before
+		if delta > 0 {
+			t.Token += t.Priority.Tokens() * t.NormalizedSlowdown(delta)
+		}
+	}
+}
+
+// Candidates returns the candidate group of Algorithm 2 line 9: the
+// threshold is the largest token balance in the ready queue rounded down
+// (never up) to the closest configured level, and every task at or above
+// it is a candidate. The group is never empty for a non-empty queue.
+func (f tokenFramework) Candidates(ready []*Task) []*Task {
+	maxTok := math.Inf(-1)
+	for _, t := range ready {
+		if t.Token > maxTok {
+			maxTok = t.Token
+		}
+	}
+	threshold := f.roundDown(maxTok)
+	var cands []*Task
+	for _, t := range ready {
+		if t.Token >= threshold {
+			cands = append(cands, t)
+		}
+	}
+	if len(cands) == 0 {
+		// Defensive: float rounding should never exclude the max
+		// holder, but the scheduler must always make progress.
+		cands = ready
+	}
+	return cands
+}
+
+// roundDown maps a token balance onto the closest configured level from
+// below; balances below the lowest level map to it so the candidate test
+// (token >= threshold) still admits the maximum holder.
+func (f tokenFramework) roundDown(tok float64) float64 {
+	levels := f.cfg.TokenThresholdLevels
+	if len(levels) == 0 {
+		return tok
+	}
+	th := levels[0]
+	for _, l := range levels {
+		if tok >= l {
+			th = l
+		}
+	}
+	return th
+}
+
+// Token is the TOKEN policy of Figure 11: Algorithm 2's candidate group,
+// but with naive FCFS selection among the candidates instead of PREMA's
+// shortest-estimated-job selection.
+type Token struct {
+	f tokenFramework
+}
+
+// NewToken builds the TOKEN policy with the given scheduler config.
+func NewToken(cfg Config) *Token { return &Token{f: tokenFramework{cfg: cfg}} }
+
+// Name implements Policy.
+func (*Token) Name() string { return "TOKEN" }
+
+// UsesPredictor implements Policy.
+func (*Token) UsesPredictor() bool { return true }
+
+// Pick implements Policy.
+func (p *Token) Pick(ready []*Task, current *Task, now int64) Decision {
+	cands := p.f.Candidates(ready)
+	cand := pickBy(cands, tieBreak)
+	return Decision{Candidate: cand, Preempt: tokenPreempt(cand, current)}
+}
+
+// tokenHysteresis is the token-dominance ratio a candidate needs to
+// displace a runner it cannot beat on estimated remaining time.
+const tokenHysteresis = 1.5
+
+// tokenPreempt is the preemption recommendation shared by the token-based
+// policies (Section V-C). The candidate displaces the runner when either
+//
+//  1. it is estimated to finish sooner AND holds at least as many tokens
+//     (the Figure 2(d) short-job fast path), or
+//  2. its token balance clearly dominates the runner's (priority or
+//     starvation urgency, regardless of length).
+//
+// The two rules cannot both hold in opposite directions at the same
+// instant (rule 1 requires cand.Token >= cur.Token, contradicting the
+// reverse rule 2), and the hysteresis on rule 2 makes repeated
+// leapfrogging between two starving tasks self-extinguishing — without
+// it, two tasks could preempt each other every scheduling period, which
+// thrashes under CHECKPOINT and livelocks under KILL (all progress
+// discarded on each swap). Whether a recommended preemption actually
+// interrupts the runner is Algorithm 3's decision: the dynamic selector
+// overrides with DRAIN when the runner is nearly done (Section V-C).
+func tokenPreempt(cand, current *Task) bool {
+	if current == nil {
+		return false
+	}
+	if cand.EstimatedRemaining() < current.EstimatedRemaining() && cand.Token >= current.Token {
+		return true
+	}
+	return cand.Token > tokenHysteresis*current.Token
+}
+
+// PREMA is the paper's scheduler (Algorithm 2): the token-based candidate
+// group balances priority and accumulated slowdown, and the final
+// candidate is the shortest estimated job within the group, optimizing
+// average latency without starving low-priority short tasks.
+type PREMA struct {
+	f tokenFramework
+}
+
+// NewPREMA builds the PREMA policy with the given scheduler config.
+func NewPREMA(cfg Config) *PREMA { return &PREMA{f: tokenFramework{cfg: cfg}} }
+
+// Name implements Policy.
+func (*PREMA) Name() string { return "PREMA" }
+
+// UsesPredictor implements Policy.
+func (*PREMA) UsesPredictor() bool { return true }
+
+// Pick implements Policy.
+func (p *PREMA) Pick(ready []*Task, current *Task, now int64) Decision {
+	cands := p.f.Candidates(ready)
+	cand := pickBy(cands, func(a, b *Task) bool {
+		ar, br := a.EstimatedRemaining(), b.EstimatedRemaining()
+		if ar != br {
+			return ar < br
+		}
+		return tieBreak(a, b)
+	})
+	// PREMA recommends scheduling its candidate over the runner per
+	// the shared token rule; Algorithm 3 may still override with
+	// DRAIN, which is what protects a nearly-finished running task
+	// from a longer candidate and distinguishes the dynamic
+	// configuration from statically always checkpointing (Figure 12).
+	return Decision{Candidate: cand, Preempt: tokenPreempt(cand, current)}
+}
+
+// ByName constructs a policy by its evaluation label.
+func ByName(name string, cfg Config) (Policy, error) {
+	switch name {
+	case "FCFS":
+		return FCFS{}, nil
+	case "RRB":
+		return RRB{}, nil
+	case "HPF":
+		return HPF{}, nil
+	case "SJF":
+		return SJF{}, nil
+	case "TOKEN":
+		return NewToken(cfg), nil
+	case "PREMA":
+		return NewPREMA(cfg), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,95 @@
+package scnn
+
+import (
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/sparsity"
+	"repro/internal/stats"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Multipliers: 0, AccumulatorBanks: 1, MemBWBytesPerCycle: 1, CrossbarOverhead: 1},
+		{Multipliers: 1, AccumulatorBanks: 0, MemBWBytesPerCycle: 1, CrossbarOverhead: 1},
+		{Multipliers: 1, AccumulatorBanks: 1, MemBWBytesPerCycle: 0, CrossbarOverhead: 1},
+		{Multipliers: 1, AccumulatorBanks: 1, MemBWBytesPerCycle: 1, CrossbarOverhead: 0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestLayerCyclesScaleWithDensity(t *testing.T) {
+	cfg := DefaultConfig()
+	l := dnn.NewConv("c", 28, 28, 256, 256, 3, 1, 1)
+	dense := cfg.LayerCycles(l, 1, 1.0, 1.0)
+	sparse := cfg.LayerCycles(l, 1, 0.3, 0.5)
+	if sparse >= dense {
+		t.Errorf("sparsity should reduce cycles: %d vs %d", sparse, dense)
+	}
+	// Effectual work scales with the density product; compute-bound
+	// layers should see roughly proportional savings.
+	ratio := float64(sparse) / float64(dense)
+	if ratio > 0.4 {
+		t.Errorf("0.15 density product should cut compute-bound cycles hard, got ratio %.2f", ratio)
+	}
+}
+
+func TestInferenceCyclesRejectsRNNs(t *testing.T) {
+	cfg := DefaultConfig()
+	m, _ := dnn.ByName("RNN-SA")
+	if _, err := cfg.InferenceCycles(m, 1, nil, 0.3, stats.NewRNG(1, 1)); err == nil {
+		t.Error("SCNN characterization must reject recurrent models")
+	}
+}
+
+func TestCharacterizeVariationMatchesPaperBounds(t *testing.T) {
+	// Section V-B(3): across 500 pruned-CNN inferences, execution time
+	// never deviated more than 14% (average 6%) from the mean.
+	cfg := DefaultConfig()
+	for _, name := range []string{"CNN-AN", "CNN-GN", "CNN-VN"} {
+		m, err := dnn.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, maxDev, avgDev, err := cfg.CharacterizeVariation(m, 1, 500, 0.3, stats.NewRNG(7, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean <= 0 {
+			t.Fatalf("%s: non-positive mean", name)
+		}
+		if maxDev > 0.25 {
+			t.Errorf("%s: max deviation %.1f%% far above the paper's 14%%", name, maxDev*100)
+		}
+		if avgDev > 0.10 {
+			t.Errorf("%s: average deviation %.1f%% above the paper's ~6%% regime", name, avgDev*100)
+		}
+		if avgDev <= 0 {
+			t.Errorf("%s: zero variation is not credible for input-dependent sparsity", name)
+		}
+	}
+}
+
+func TestInferenceDeterministicGivenRNG(t *testing.T) {
+	cfg := DefaultConfig()
+	m, _ := dnn.ByName("CNN-VN")
+	profile := sparsity.VGGProfile()
+	a, err := cfg.InferenceCycles(m, 1, profile, 0.3, stats.NewRNG(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.InferenceCycles(m, 1, profile, 0.3, stats.NewRNG(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same-seed inferences differ")
+	}
+}

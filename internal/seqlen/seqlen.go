@@ -1,0 +1,268 @@
+// Package seqlen implements PREMA's sequence-length prediction substrate
+// (Section V-B, Figures 8-9): profile-driven characterization of the
+// relationship between an RNN's statically-known input sequence length and
+// its input-dependent, dynamically-determined unrolled output length.
+//
+// The paper builds its characterization graphs by running 1500 inference
+// tests per application through Google Translate / a speech API. Those
+// corpora are proprietary, so this package synthesizes corpora with the
+// same per-language shape: a strong central correlation (narrow 25-75%
+// interquartile band) with occasional outliers. The regression model is
+// then built exactly as the paper describes — a software lookup table
+// indexed by input length returning the geometric mean of the profiled
+// output lengths — and actual task instances sample their true unrolled
+// length from the same profile, as in Section VI's evaluation methodology.
+package seqlen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// LanguagePair describes the shape of one characterization profile: a
+// central output/input ratio, a multiplicative spread for the bulk of the
+// distribution, and a small probability of far outliers (e.g. idiomatic
+// translations), mirroring the min-max whiskers of Figure 9.
+type LanguagePair struct {
+	// Name identifies the profile ("mt-de", "mt-ko", "mt-zh", "asr",
+	// "sa").
+	Name string
+	// Ratio is the central output/input length ratio.
+	Ratio float64
+	// Spread is the relative standard deviation of the bulk
+	// distribution (lognormal sigma).
+	Spread float64
+	// OutlierProb is the probability that a sample lands far outside
+	// the interquartile band.
+	OutlierProb float64
+	// OutlierScale multiplies/divides the central value for outliers.
+	OutlierScale float64
+	// MinIn and MaxIn bound the profiled input lengths.
+	MinIn, MaxIn int
+	// Linear marks applications whose output length is statically
+	// determined by the input length (Figure 8(b)): sentiment
+	// analysis, language models. These need no regression at all.
+	Linear bool
+}
+
+// Profiles returns the built-in characterization shapes for the benchmark
+// suite, calibrated to the axes of Figure 9:
+//
+//	mt-de: output ~ 1.05x input (5..50 -> up to ~75 with outliers)
+//	mt-ko: output ~ 0.75x input (agglutinative; 5..50 -> up to ~50)
+//	mt-zh: output ~ 5.5x input (character-level; 5..50 -> up to ~350)
+//	asr:   output ~ 0.4x input (audio frames -> text tokens; 20..100)
+//	sa:    output == input (linear, Figure 8(b))
+func Profiles() map[string]LanguagePair {
+	return map[string]LanguagePair{
+		"mt-de": {Name: "mt-de", Ratio: 1.05, Spread: 0.08, OutlierProb: 0.02, OutlierScale: 1.6, MinIn: 5, MaxIn: 50},
+		"mt-ko": {Name: "mt-ko", Ratio: 0.75, Spread: 0.12, OutlierProb: 0.02, OutlierScale: 1.6, MinIn: 5, MaxIn: 50},
+		"mt-zh": {Name: "mt-zh", Ratio: 5.5, Spread: 0.08, OutlierProb: 0.02, OutlierScale: 1.5, MinIn: 5, MaxIn: 50},
+		"asr":   {Name: "asr", Ratio: 0.40, Spread: 0.12, OutlierProb: 0.02, OutlierScale: 1.5, MinIn: 20, MaxIn: 100},
+		"sa":    {Name: "sa", Ratio: 1.0, MinIn: 5, MaxIn: 50, Linear: true},
+	}
+}
+
+// Sample is one profiled (input length, output length) observation.
+type Sample struct {
+	InLen, OutLen int
+}
+
+// Corpus is a profiled characterization dataset for one application — the
+// synthetic stand-in for the paper's 1500 Google-Translate/LibriSpeech
+// test sentences.
+type Corpus struct {
+	Pair    LanguagePair
+	Samples []Sample
+	byIn    map[int][]int
+}
+
+// BuildCorpus draws n profiled observations from the pair's shape using
+// the given RNG.
+func BuildCorpus(pair LanguagePair, n int, rng *rand.Rand) *Corpus {
+	c := &Corpus{Pair: pair, byIn: make(map[int][]int)}
+	for i := 0; i < n; i++ {
+		in := pair.MinIn + rng.IntN(pair.MaxIn-pair.MinIn+1)
+		out := pair.sampleOut(in, rng)
+		c.Samples = append(c.Samples, Sample{InLen: in, OutLen: out})
+		c.byIn[in] = append(c.byIn[in], out)
+	}
+	return c
+}
+
+// sampleOut draws one output length for the given input length.
+func (p LanguagePair) sampleOut(inLen int, rng *rand.Rand) int {
+	if p.Linear {
+		return inLen
+	}
+	center := p.Ratio * float64(inLen)
+	out := center * math.Exp(rng.NormFloat64()*p.Spread)
+	if rng.Float64() < p.OutlierProb {
+		if rng.Float64() < 0.5 {
+			out = center * p.OutlierScale
+		} else {
+			out = center / p.OutlierScale
+		}
+	}
+	o := int(math.Round(out))
+	if o < 1 {
+		o = 1
+	}
+	return o
+}
+
+// OutLengthsFor returns the profiled output lengths observed for one input
+// length (possibly empty).
+func (c *Corpus) OutLengthsFor(inLen int) []int {
+	return c.byIn[inLen]
+}
+
+// SummaryFor returns the boxplot summary of output lengths for one input
+// length — one x-position of Figure 9.
+func (c *Corpus) SummaryFor(inLen int) stats.Summary {
+	outs := c.byIn[inLen]
+	xs := make([]float64, len(outs))
+	for i, o := range outs {
+		xs[i] = float64(o)
+	}
+	return stats.Summarize(xs)
+}
+
+// Regression is the profile-driven lookup table of Section V-B: indexed by
+// input sequence length (statically known before inference begins) and
+// returning the geometric mean of the profiled unrolled lengths. Missing
+// input lengths fall back to the nearest profiled neighbor.
+type Regression struct {
+	pair   LanguagePair
+	table  map[int]int
+	inLens []int // sorted profiled input lengths
+}
+
+// BuildRegression fits the lookup table from a corpus.
+func BuildRegression(c *Corpus) (*Regression, error) {
+	r := &Regression{pair: c.Pair, table: make(map[int]int)}
+	if c.Pair.Linear {
+		return r, nil
+	}
+	for in, outs := range c.byIn {
+		xs := make([]float64, len(outs))
+		for i, o := range outs {
+			xs[i] = float64(o)
+		}
+		gm, err := stats.GeoMean(xs)
+		if err != nil {
+			return nil, fmt.Errorf("seqlen: profile %q input %d: %w", c.Pair.Name, in, err)
+		}
+		r.table[in] = int(math.Round(gm))
+		r.inLens = append(r.inLens, in)
+	}
+	if len(r.inLens) == 0 {
+		return nil, fmt.Errorf("seqlen: empty corpus for profile %q", c.Pair.Name)
+	}
+	sort.Ints(r.inLens)
+	return r, nil
+}
+
+// Predict returns the estimated unrolled output length for an input
+// length. Linear applications return the input length itself
+// (Figure 8(b)); others consult the geomean lookup table, snapping to the
+// nearest profiled input length when the exact one was never observed.
+func (r *Regression) Predict(inLen int) int {
+	if r.pair.Linear {
+		return inLen
+	}
+	if out, ok := r.table[inLen]; ok {
+		return out
+	}
+	// Nearest profiled neighbor.
+	i := sort.SearchInts(r.inLens, inLen)
+	switch {
+	case i == 0:
+		return r.table[r.inLens[0]]
+	case i >= len(r.inLens):
+		return r.table[r.inLens[len(r.inLens)-1]]
+	default:
+		lo, hi := r.inLens[i-1], r.inLens[i]
+		if inLen-lo <= hi-inLen {
+			return r.table[lo]
+		}
+		return r.table[hi]
+	}
+}
+
+// Predictor bundles a corpus and its regression for one profile.
+type Predictor struct {
+	Corpus     *Corpus
+	Regression *Regression
+}
+
+// Library holds the per-profile predictors the scheduler consults and the
+// samplers the workload generator uses.
+type Library struct {
+	predictors map[string]*Predictor
+	rng        *rand.Rand
+}
+
+// DefaultCorpusSize matches the paper's 1500 profiled sentences per
+// application.
+const DefaultCorpusSize = 1500
+
+// NewLibrary builds corpora and regressions for every built-in profile
+// with deterministic seeding.
+func NewLibrary(seed uint64) (*Library, error) {
+	lib := &Library{
+		predictors: make(map[string]*Predictor),
+		rng:        stats.NewRNG(seed, 0x5e925e9),
+	}
+	for name, pair := range Profiles() {
+		corpus := BuildCorpus(pair, DefaultCorpusSize, stats.NewRNG(seed, hashName(name)))
+		reg, err := BuildRegression(corpus)
+		if err != nil {
+			return nil, err
+		}
+		lib.predictors[name] = &Predictor{Corpus: corpus, Regression: reg}
+	}
+	return lib, nil
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Predictor returns the predictor for a profile name.
+func (l *Library) Predictor(profile string) (*Predictor, error) {
+	p, ok := l.predictors[profile]
+	if !ok {
+		return nil, fmt.Errorf("seqlen: unknown profile %q", profile)
+	}
+	return p, nil
+}
+
+// SampleInstance draws one task instance for an RNN profile: a random
+// profiled input length and an actual unrolled output length drawn from
+// the outputs observed for that input length (Section VI's methodology),
+// together with the regression's predicted length.
+func (l *Library) SampleInstance(profile string, rng *rand.Rand) (inLen, actualOut, predictedOut int, err error) {
+	p, err := l.Predictor(profile)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(p.Corpus.Samples) == 0 {
+		return 0, 0, 0, fmt.Errorf("seqlen: empty corpus for %q", profile)
+	}
+	s := p.Corpus.Samples[rng.IntN(len(p.Corpus.Samples))]
+	inLen = s.InLen
+	candidates := p.Corpus.OutLengthsFor(inLen)
+	actualOut = candidates[rng.IntN(len(candidates))]
+	predictedOut = p.Regression.Predict(inLen)
+	return inLen, actualOut, predictedOut, nil
+}

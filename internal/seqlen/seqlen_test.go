@@ -1,0 +1,205 @@
+package seqlen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestProfilesCoverSuite(t *testing.T) {
+	profs := Profiles()
+	for _, want := range []string{"mt-de", "mt-ko", "mt-zh", "asr", "sa"} {
+		p, ok := profs[want]
+		if !ok {
+			t.Fatalf("missing profile %s", want)
+		}
+		if p.MinIn <= 0 || p.MaxIn < p.MinIn {
+			t.Errorf("%s: bad input bounds [%d,%d]", want, p.MinIn, p.MaxIn)
+		}
+		if !p.Linear && p.Ratio <= 0 {
+			t.Errorf("%s: non-positive ratio", want)
+		}
+	}
+	if !profs["sa"].Linear {
+		t.Error("sentiment analysis must be the linear profile (Figure 8(b))")
+	}
+	// Figure 9's per-language shapes: German near 1:1, Korean below,
+	// Chinese characters far above, ASR compressive.
+	if !(profs["mt-zh"].Ratio > 3 && profs["mt-ko"].Ratio < 1 && profs["asr"].Ratio < 1) {
+		t.Error("profile ratios do not match Figure 9's qualitative shape")
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	rng := stats.NewRNG(1, 2)
+	pair := Profiles()["mt-de"]
+	c := BuildCorpus(pair, 1500, rng)
+	if len(c.Samples) != 1500 {
+		t.Fatalf("corpus size %d", len(c.Samples))
+	}
+	for _, s := range c.Samples {
+		if s.InLen < pair.MinIn || s.InLen > pair.MaxIn {
+			t.Fatalf("input length %d outside profile bounds", s.InLen)
+		}
+		if s.OutLen < 1 {
+			t.Fatalf("non-positive output length")
+		}
+	}
+	// Interquartile range should be narrow relative to the median
+	// (Figure 9's central claim).
+	sum := c.SummaryFor(c.Samples[0].InLen)
+	if sum.N > 10 && sum.IQR() > sum.Median*0.5 {
+		t.Errorf("IQR %0.f too wide vs median %.0f", sum.IQR(), sum.Median)
+	}
+}
+
+func TestLinearProfileSampling(t *testing.T) {
+	rng := stats.NewRNG(3, 4)
+	c := BuildCorpus(Profiles()["sa"], 200, rng)
+	for _, s := range c.Samples {
+		if s.OutLen != s.InLen {
+			t.Fatalf("linear profile produced out %d for in %d", s.OutLen, s.InLen)
+		}
+	}
+	r, err := BuildRegression(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for in := 1; in <= 60; in++ {
+		if r.Predict(in) != in {
+			t.Fatalf("linear regression Predict(%d) = %d", in, r.Predict(in))
+		}
+	}
+}
+
+func TestRegressionGeomeanAndFallback(t *testing.T) {
+	pair := LanguagePair{Name: "x", Ratio: 2, Spread: 0, MinIn: 10, MaxIn: 10}
+	c := BuildCorpus(pair, 50, stats.NewRNG(5, 6))
+	r, err := BuildRegression(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict(10); got != 20 {
+		t.Errorf("Predict(10) = %d, want 20 (zero-spread ratio 2)", got)
+	}
+	// Unprofiled input lengths snap to the nearest profiled neighbor.
+	if got := r.Predict(3); got != 20 {
+		t.Errorf("Predict(below range) = %d, want nearest profiled 20", got)
+	}
+	if got := r.Predict(99); got != 20 {
+		t.Errorf("Predict(above range) = %d, want nearest profiled 20", got)
+	}
+}
+
+func TestRegressionNearestNeighborChoice(t *testing.T) {
+	// Hand-build a corpus with two input lengths, distinct outputs.
+	pair := LanguagePair{Name: "n", Ratio: 1, MinIn: 1, MaxIn: 100}
+	c := &Corpus{Pair: pair, byIn: map[int][]int{
+		10: {30, 30, 30},
+		20: {80, 80, 80},
+	}}
+	c.Samples = []Sample{{10, 30}, {20, 80}}
+	r, err := BuildRegression(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict(12); got != 30 {
+		t.Errorf("Predict(12) = %d, want 30 (closer to 10)", got)
+	}
+	if got := r.Predict(19); got != 80 {
+		t.Errorf("Predict(19) = %d, want 80 (closer to 20)", got)
+	}
+}
+
+func TestBuildRegressionEmptyCorpus(t *testing.T) {
+	pair := LanguagePair{Name: "e", Ratio: 1, MinIn: 1, MaxIn: 5}
+	c := &Corpus{Pair: pair, byIn: map[int][]int{}}
+	if _, err := BuildRegression(c); err == nil {
+		t.Error("empty corpus should fail regression build")
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	lib, err := NewLibrary(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.Predictor("nope"); err == nil {
+		t.Error("unknown profile should error")
+	}
+	rng := stats.NewRNG(7, 8)
+	for profile := range Profiles() {
+		in, actual, predicted, err := lib.SampleInstance(profile, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in <= 0 || actual <= 0 || predicted <= 0 {
+			t.Errorf("%s: non-positive sample (%d,%d,%d)", profile, in, actual, predicted)
+		}
+		p, _ := lib.Predictor(profile)
+		// The actual length must come from the profiled set for that
+		// input length (Section VI methodology).
+		found := false
+		for _, o := range p.Corpus.OutLengthsFor(in) {
+			if o == actual {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: sampled actual %d not in profiled outputs for in=%d", profile, actual, in)
+		}
+	}
+}
+
+func TestLibraryDeterministicAcrossConstruction(t *testing.T) {
+	a, err := NewLibrary(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLibrary(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := a.Predictor("mt-zh")
+	pb, _ := b.Predictor("mt-zh")
+	if len(pa.Corpus.Samples) != len(pb.Corpus.Samples) {
+		t.Fatal("corpora sizes differ")
+	}
+	for i := range pa.Corpus.Samples {
+		if pa.Corpus.Samples[i] != pb.Corpus.Samples[i] {
+			t.Fatal("same-seed libraries built different corpora")
+		}
+	}
+}
+
+// Property: predictions are positive, roughly proportional to input
+// length, and within the whiskers of the profiled distribution.
+func TestPredictionWithinProfiledRangeProperty(t *testing.T) {
+	lib, err := NewLibrary(1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := lib.Predictor("mt-de")
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed, 1)
+		in, _, predicted, err := lib.SampleInstance("mt-de", rng)
+		if err != nil {
+			return false
+		}
+		outs := p.Corpus.OutLengthsFor(in)
+		lo, hi := outs[0], outs[0]
+		for _, o := range outs {
+			if o < lo {
+				lo = o
+			}
+			if o > hi {
+				hi = o
+			}
+		}
+		return predicted >= lo && predicted <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package serving
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Dynamic batching is the TensorRT-Inference-Server runtime feature the
+// paper's Figure 1 setup relies on: single inference requests of the same
+// model arriving within a batching window are coalesced into one batched
+// NPU task, trading queueing delay for the systolic array's strong
+// batch efficiency. CNN requests batch freely; recurrent requests pass
+// through unbatched because their per-request unrolled lengths differ
+// (the same practical restriction real serving stacks face).
+
+// BatchSpec parameterizes a batched sustained-load run.
+type BatchSpec struct {
+	// Spec is the underlying request stream; requests are generated at
+	// batch size 1.
+	Spec Spec
+	// Window is the batching window: same-model CNN requests arriving
+	// within a window are fused (0 disables batching).
+	Window time.Duration
+	// MaxBatch caps the fused batch size (default 16).
+	MaxBatch int
+}
+
+// memberRequest tracks one original request inside a batched task.
+type memberRequest struct {
+	arrival  int64
+	isolated int64 // batch-1 isolated cycles, the user-visible ideal
+}
+
+// BatchStats extends Stats with batching-specific counters.
+type BatchStats struct {
+	Stats
+	// Dispatched is the number of NPU tasks after coalescing.
+	Dispatched int
+	// MeanBatch is the average fused batch size across CNN dispatches.
+	MeanBatch float64
+}
+
+// RunBatched generates a batch-1 request stream, coalesces it per the
+// batching window, and runs the batched tasks under the given scheduler.
+// Latency statistics are computed per original request (member), not per
+// fused task.
+func (s *Server) RunBatched(bs BatchSpec, policy string, preemptive bool, selector string,
+	rng *rand.Rand) (BatchStats, error) {
+
+	if bs.MaxBatch <= 0 {
+		bs.MaxBatch = 16
+	}
+	base := bs.Spec
+	base.BatchSizes = []int{1}
+	requests, err := s.Generate(base, rng)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	windowCycles := s.cfg.Cycles(bs.Window)
+
+	// Coalesce: group same-model CNN requests whose arrivals fall
+	// within windowCycles of the group's first request.
+	type pendingGroup struct {
+		model   string
+		opened  int64
+		members []memberRequest
+		rng     *rand.Rand
+	}
+	var tasks []*workload.Task
+	members := map[int][]memberRequest{} // task ID -> original requests
+	nextID := 0
+
+	flush := func(g *pendingGroup) error {
+		if g == nil || len(g.members) == 0 {
+			return nil
+		}
+		batch := len(g.members)
+		if batch > bs.MaxBatch {
+			batch = bs.MaxBatch
+		}
+		// The fused task dispatches when its window closes (or at the
+		// last member's arrival if that is later due to capping).
+		arrival := g.members[len(g.members)-1].arrival
+		prio := sched.Priorities[g.rng.IntN(len(sched.Priorities))]
+		task, err := s.gen.InstanceByName(nextID, g.model, batch, prio, arrival, g.rng)
+		if err != nil {
+			return err
+		}
+		tasks = append(tasks, task)
+		members[nextID] = append([]memberRequest(nil), g.members...)
+		nextID++
+		return nil
+	}
+
+	open := map[string]*pendingGroup{}
+	sort.Slice(requests, func(i, j int) bool { return requests[i].Arrival < requests[j].Arrival })
+	for _, r := range requests {
+		m := memberRequest{arrival: r.Arrival, isolated: r.IsolatedCycles}
+		if r.ModelRef.IsRNN() || windowCycles == 0 {
+			// Pass through unbatched.
+			g := &pendingGroup{model: r.Model, opened: r.Arrival,
+				members: []memberRequest{m}, rng: rng}
+			if err := flush(g); err != nil {
+				return BatchStats{}, err
+			}
+			continue
+		}
+		g := open[r.Model]
+		if g != nil && (r.Arrival-g.opened > windowCycles || len(g.members) >= bs.MaxBatch) {
+			if err := flush(g); err != nil {
+				return BatchStats{}, err
+			}
+			g = nil
+		}
+		if g == nil {
+			g = &pendingGroup{model: r.Model, opened: r.Arrival, rng: rng}
+			open[r.Model] = g
+		}
+		g.members = append(g.members, m)
+	}
+	// Deterministic flush order for the tail groups.
+	var names []string
+	for name := range open {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := flush(open[name]); err != nil {
+			return BatchStats{}, err
+		}
+	}
+	if len(tasks) == 0 {
+		return BatchStats{}, fmt.Errorf("serving: batching produced no tasks")
+	}
+
+	pol, err := sched.ByName(policy, s.scfg)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	var sel sched.MechanismSelector
+	if preemptive {
+		if selector == "" {
+			selector = "dynamic"
+		}
+		if sel, err = sched.SelectorByName(selector); err != nil {
+			return BatchStats{}, err
+		}
+	}
+	simulator, err := sim.New(sim.Options{
+		NPU: s.cfg, Sched: s.scfg,
+		Policy: pol, Preemptive: preemptive, Selector: sel,
+	}, workload.SchedTasks(tasks))
+	if err != nil {
+		return BatchStats{}, err
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		return BatchStats{}, err
+	}
+
+	// Per-request statistics.
+	warmup := bs.Spec.WarmupFraction
+	if warmup <= 0 {
+		warmup = 0.2
+	}
+	cut := int64(float64(s.cfg.Cycles(bs.Spec.Horizon)) * warmup)
+	var latencies, ntts []float64
+	var totalMembers, cnnBatches, cnnMembers int
+	out := BatchStats{Dispatched: len(res.Tasks)}
+	for _, task := range res.Tasks {
+		ms := members[task.ID]
+		totalMembers += len(ms)
+		if task.Batch > 1 || len(ms) > 1 {
+			cnnBatches++
+			cnnMembers += len(ms)
+		}
+		for _, m := range ms {
+			if m.arrival < cut {
+				continue
+			}
+			lat := task.Completion - m.arrival
+			latencies = append(latencies, s.cfg.Millis(lat))
+			ntts = append(ntts, float64(lat)/float64(m.isolated))
+		}
+	}
+	out.Requests = totalMembers
+	out.Measured = len(latencies)
+	if out.Measured == 0 {
+		return BatchStats{}, fmt.Errorf("serving: no requests survive the warm-up window")
+	}
+	out.MeanLatencyMS = stats.Mean(latencies)
+	out.P95LatencyMS = stats.Percentile(latencies, 95)
+	out.P99LatencyMS = stats.Percentile(latencies, 99)
+	out.MeanNTT = stats.Mean(ntts)
+	if sec := s.cfg.Seconds(res.Cycles); sec > 0 {
+		out.ThroughputPerSec = float64(totalMembers) / sec
+	}
+	if cnnBatches > 0 {
+		out.MeanBatch = float64(cnnMembers) / float64(cnnBatches)
+	} else {
+		out.MeanBatch = 1
+	}
+	return out, nil
+}

@@ -1,0 +1,100 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestBatchingDisabledMatchesUnbatchedShape(t *testing.T) {
+	s := newServer(t)
+	bs := BatchSpec{Spec: Spec{Horizon: 300 * time.Millisecond, OfferedLoad: 0.5}}
+	st, err := s.RunBatched(bs, "FCFS", false, "", workload.RNGFor(11, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dispatched != st.Requests {
+		t.Errorf("window 0 should dispatch one task per request: %d vs %d",
+			st.Dispatched, st.Requests)
+	}
+	if st.MeanBatch != 1 {
+		t.Errorf("mean batch %v, want 1", st.MeanBatch)
+	}
+}
+
+func TestBatchingCoalescesCNNRequests(t *testing.T) {
+	s := newServer(t)
+	bs := BatchSpec{
+		Spec: Spec{Horizon: 300 * time.Millisecond, OfferedLoad: 0.7,
+			Models: []string{"CNN-AN", "CNN-GN"}},
+		Window: 4 * time.Millisecond,
+	}
+	st, err := s.RunBatched(bs, "FCFS", false, "", workload.RNGFor(12, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dispatched >= st.Requests {
+		t.Errorf("batching should fuse requests: %d dispatched of %d", st.Dispatched, st.Requests)
+	}
+	if st.MeanBatch <= 1.2 {
+		t.Errorf("mean batch %v too small for a 4ms window at 0.7 load", st.MeanBatch)
+	}
+}
+
+func TestRNNsNeverBatch(t *testing.T) {
+	s := newServer(t)
+	bs := BatchSpec{
+		Spec: Spec{Horizon: 200 * time.Millisecond, OfferedLoad: 0.6,
+			Models: []string{"RNN-SA", "RNN-MT2"}},
+		Window: 8 * time.Millisecond,
+	}
+	st, err := s.RunBatched(bs, "FCFS", false, "", workload.RNGFor(13, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dispatched != st.Requests {
+		t.Errorf("RNN requests must pass through unbatched: %d vs %d",
+			st.Dispatched, st.Requests)
+	}
+}
+
+func TestBatchingRaisesThroughputUnderSaturation(t *testing.T) {
+	// At an offered load the unbatched server cannot sustain, fusing
+	// CNN requests recovers throughput (the Figure 1 co-location story
+	// with batching instead of co-location).
+	s := newServer(t)
+	spec := Spec{Horizon: 300 * time.Millisecond, OfferedLoad: 1.6,
+		Models: []string{"CNN-AN", "CNN-GN", "CNN-MN"}}
+	unbatched, err := s.RunBatched(BatchSpec{Spec: spec},
+		"FCFS", false, "", workload.RNGFor(14, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := s.RunBatched(BatchSpec{Spec: spec, Window: 4 * time.Millisecond},
+		"FCFS", false, "", workload.RNGFor(14, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.ThroughputPerSec <= unbatched.ThroughputPerSec {
+		t.Errorf("batched throughput %.0f/s should beat unbatched %.0f/s under overload",
+			batched.ThroughputPerSec, unbatched.ThroughputPerSec)
+	}
+}
+
+func TestBatchCapRespected(t *testing.T) {
+	s := newServer(t)
+	bs := BatchSpec{
+		Spec: Spec{Horizon: 300 * time.Millisecond, OfferedLoad: 2.0,
+			Models: []string{"CNN-MN"}},
+		Window:   20 * time.Millisecond,
+		MaxBatch: 4,
+	}
+	st, err := s.RunBatched(bs, "FCFS", false, "", workload.RNGFor(15, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanBatch > 4 {
+		t.Errorf("mean batch %v exceeds the cap of 4", st.MeanBatch)
+	}
+}

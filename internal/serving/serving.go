@@ -1,0 +1,213 @@
+// Package serving models the sustained-load operating regime of a cloud
+// inference server (the deployment the paper's introduction motivates):
+// an open-loop Poisson stream of requests offered at a fraction of the
+// NPU's capacity over a time horizon, with steady-state latency measured
+// after a warm-up window. It turns the repository's closed 8-task
+// workloads into the classic throughput-latency curves operators actually
+// provision against, and shows where each scheduling policy's latency
+// knee sits.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/npu"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Spec parameterizes one sustained-load run.
+type Spec struct {
+	// Horizon is the arrival window; requests arrive over [0, Horizon).
+	Horizon time.Duration
+	// OfferedLoad is the offered utilization: the request rate times
+	// the mix's mean isolated service time. Loads near or above 1
+	// saturate the NPU.
+	OfferedLoad float64
+	// Models restricts the request mix (defaults to the 8-model suite).
+	Models []string
+	// BatchSizes restricts batches (defaults to {1,4,16}).
+	BatchSizes []int
+	// WarmupFraction of the horizon is excluded from latency
+	// statistics (default 0.2).
+	WarmupFraction float64
+}
+
+// Stats summarizes the steady-state behaviour of one run.
+type Stats struct {
+	// Requests admitted and completed.
+	Requests int
+	// Measured excludes warm-up arrivals.
+	Measured int
+	// ThroughputPerSec is completed inferences per second of makespan.
+	ThroughputPerSec float64
+	// MeanLatencyMS, P95LatencyMS, P99LatencyMS are steady-state
+	// turnaround statistics.
+	MeanLatencyMS, P95LatencyMS, P99LatencyMS float64
+	// MeanNTT is the mean normalized turnaround of measured requests.
+	MeanNTT float64
+	// SLAViolations4x is the measured fraction violating 4x isolated.
+	SLAViolations4x float64
+}
+
+// Server generates and runs sustained-load scenarios against one NPU
+// configuration.
+type Server struct {
+	cfg  npu.Config
+	scfg sched.Config
+	gen  *workload.Generator
+}
+
+// NewServer builds a Server sharing the given workload generator.
+func NewServer(cfg npu.Config, scfg sched.Config, gen *workload.Generator) *Server {
+	return &Server{cfg: cfg, scfg: scfg, gen: gen}
+}
+
+// meanServiceCycles estimates the mix's mean isolated service time by
+// sampling instances.
+func (s *Server) meanServiceCycles(models []string, batches []int, rng *rand.Rand) (float64, error) {
+	const samples = 24
+	var sum float64
+	for i := 0; i < samples; i++ {
+		name := models[rng.IntN(len(models))]
+		b := batches[rng.IntN(len(batches))]
+		task, err := s.gen.InstanceByName(i, name, b, sched.Medium, 0, rng)
+		if err != nil {
+			return 0, err
+		}
+		sum += float64(task.IsolatedCycles)
+	}
+	return sum / samples, nil
+}
+
+// Generate builds the Poisson request stream for a spec.
+func (s *Server) Generate(spec Spec, rng *rand.Rand) ([]*workload.Task, error) {
+	if spec.OfferedLoad <= 0 {
+		return nil, fmt.Errorf("serving: non-positive offered load %v", spec.OfferedLoad)
+	}
+	if spec.Horizon <= 0 {
+		return nil, fmt.Errorf("serving: non-positive horizon %v", spec.Horizon)
+	}
+	models := spec.Models
+	if len(models) == 0 {
+		for _, m := range defaultSuite() {
+			models = append(models, m)
+		}
+	}
+	batches := spec.BatchSizes
+	if len(batches) == 0 {
+		batches = []int{1, 4, 16}
+	}
+	mean, err := s.meanServiceCycles(models, batches, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Poisson arrivals: exponential inter-arrival with rate
+	// load / meanService.
+	rate := spec.OfferedLoad / mean // arrivals per cycle
+	horizon := s.cfg.Cycles(spec.Horizon)
+	var tasks []*workload.Task
+	var at float64
+	id := 0
+	for {
+		at += rng.ExpFloat64() / rate
+		arrival := int64(at)
+		if arrival >= horizon {
+			break
+		}
+		name := models[rng.IntN(len(models))]
+		b := batches[rng.IntN(len(batches))]
+		prio := sched.Priorities[rng.IntN(len(sched.Priorities))]
+		task, err := s.gen.InstanceByName(id, name, b, prio, arrival, rng)
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, task)
+		id++
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("serving: horizon %v too short for load %v",
+			spec.Horizon, spec.OfferedLoad)
+	}
+	return tasks, nil
+}
+
+func defaultSuite() []string {
+	return []string{"CNN-AN", "CNN-GN", "CNN-VN", "CNN-MN",
+		"RNN-SA", "RNN-MT1", "RNN-MT2", "RNN-ASR"}
+}
+
+// Run executes one sustained-load scenario under the given scheduler
+// configuration and returns steady-state statistics.
+func (s *Server) Run(spec Spec, policy string, preemptive bool, selector string,
+	rng *rand.Rand) (Stats, error) {
+
+	tasks, err := s.Generate(spec, rng)
+	if err != nil {
+		return Stats{}, err
+	}
+	pol, err := sched.ByName(policy, s.scfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	var sel sched.MechanismSelector
+	if preemptive {
+		if selector == "" {
+			selector = "dynamic"
+		}
+		if sel, err = sched.SelectorByName(selector); err != nil {
+			return Stats{}, err
+		}
+	}
+	simulator, err := sim.New(sim.Options{
+		NPU: s.cfg, Sched: s.scfg,
+		Policy: pol, Preemptive: preemptive, Selector: sel,
+	}, workload.SchedTasks(tasks))
+	if err != nil {
+		return Stats{}, err
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		return Stats{}, err
+	}
+
+	warmup := spec.WarmupFraction
+	if warmup <= 0 {
+		warmup = 0.2
+	}
+	cut := int64(float64(s.cfg.Cycles(spec.Horizon)) * warmup)
+	out := Stats{Requests: len(res.Tasks)}
+	var latencies, ntts []float64
+	var measured []*sched.Task
+	for _, t := range res.Tasks {
+		if t.Arrival < cut {
+			continue
+		}
+		measured = append(measured, t)
+		latencies = append(latencies, s.cfg.Millis(t.Turnaround()))
+		ntts = append(ntts, t.NTT())
+	}
+	out.Measured = len(measured)
+	if out.Measured == 0 {
+		return Stats{}, fmt.Errorf("serving: no requests survive the warm-up window")
+	}
+	out.MeanLatencyMS = stats.Mean(latencies)
+	out.P95LatencyMS = stats.Percentile(latencies, 95)
+	out.P99LatencyMS = stats.Percentile(latencies, 99)
+	out.MeanNTT = stats.Mean(ntts)
+	out.SLAViolations4x = metrics.SLAViolationRate(measured, 4)
+	makespanSec := s.cfg.Seconds(res.Cycles)
+	if makespanSec > 0 {
+		out.ThroughputPerSec = float64(len(res.Tasks)) / makespanSec
+	}
+	if math.IsNaN(out.P99LatencyMS) {
+		out.P99LatencyMS = out.P95LatencyMS
+	}
+	return out, nil
+}

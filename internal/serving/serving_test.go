@@ -1,0 +1,126 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/npu"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	cfg := npu.DefaultConfig()
+	gen, err := workload.NewGenerator(cfg, 0xA11CE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(cfg, sched.DefaultConfig(), gen)
+}
+
+func TestGenerateValidation(t *testing.T) {
+	s := newServer(t)
+	rng := workload.RNGFor(1, 1)
+	if _, err := s.Generate(Spec{Horizon: time.Second}, rng); err == nil {
+		t.Error("zero load should be rejected")
+	}
+	if _, err := s.Generate(Spec{OfferedLoad: 0.5}, rng); err == nil {
+		t.Error("zero horizon should be rejected")
+	}
+}
+
+func TestGenerateStreamShape(t *testing.T) {
+	s := newServer(t)
+	spec := Spec{Horizon: 300 * time.Millisecond, OfferedLoad: 0.6}
+	tasks, err := s.Generate(spec, workload.RNGFor(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) < 5 {
+		t.Fatalf("only %d requests generated", len(tasks))
+	}
+	horizon := npu.DefaultConfig().Cycles(spec.Horizon)
+	prev := int64(-1)
+	for _, task := range tasks {
+		if task.Arrival < 0 || task.Arrival >= horizon {
+			t.Errorf("arrival %d outside [0,%d)", task.Arrival, horizon)
+		}
+		if task.Arrival < prev {
+			t.Error("arrivals not ordered")
+		}
+		prev = task.Arrival
+	}
+}
+
+func TestModerateLoadIsStable(t *testing.T) {
+	s := newServer(t)
+	spec := Spec{Horizon: 400 * time.Millisecond, OfferedLoad: 0.5}
+	st, err := s.Run(spec, "FCFS", false, "", workload.RNGFor(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Measured == 0 || st.Requests < st.Measured {
+		t.Fatalf("bad counts: %+v", st)
+	}
+	// At half load, queueing should be modest: mean NTT well under 10.
+	if st.MeanNTT > 10 {
+		t.Errorf("mean NTT %v too high for 0.5 load", st.MeanNTT)
+	}
+	if st.P95LatencyMS < st.MeanLatencyMS {
+		t.Error("p95 below mean")
+	}
+	if st.P99LatencyMS < st.P95LatencyMS {
+		t.Error("p99 below p95")
+	}
+	if st.ThroughputPerSec <= 0 {
+		t.Error("non-positive throughput")
+	}
+}
+
+func TestLatencyKneeGrowsWithLoad(t *testing.T) {
+	s := newServer(t)
+	lat := func(load float64) float64 {
+		st, err := s.Run(Spec{Horizon: 400 * time.Millisecond, OfferedLoad: load},
+			"FCFS", false, "", workload.RNGFor(4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.MeanNTT
+	}
+	lo, hi := lat(0.3), lat(0.95)
+	if hi <= lo {
+		t.Errorf("near-saturation NTT (%.2f) should exceed light-load NTT (%.2f)", hi, lo)
+	}
+}
+
+func TestPREMAHoldsLatencyLongerThanFCFS(t *testing.T) {
+	// The serving-level restatement of the paper's claim: at high
+	// offered load, PREMA's predictive preemption keeps mean NTT far
+	// below NP-FCFS on the same arrival stream.
+	s := newServer(t)
+	spec := Spec{Horizon: 400 * time.Millisecond, OfferedLoad: 0.85}
+	fcfs, err := s.Run(spec, "FCFS", false, "", workload.RNGFor(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prema, err := s.Run(spec, "PREMA", true, "dynamic", workload.RNGFor(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prema.MeanNTT >= fcfs.MeanNTT {
+		t.Errorf("PREMA NTT %.2f should beat FCFS %.2f at high load",
+			prema.MeanNTT, fcfs.MeanNTT)
+	}
+}
+
+func TestRunRejectsUnknownPolicy(t *testing.T) {
+	s := newServer(t)
+	spec := Spec{Horizon: 100 * time.Millisecond, OfferedLoad: 0.5}
+	if _, err := s.Run(spec, "NOPE", false, "", workload.RNGFor(6, 6)); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if _, err := s.Run(spec, "SJF", true, "bogus", workload.RNGFor(6, 6)); err == nil {
+		t.Error("unknown selector should error")
+	}
+}

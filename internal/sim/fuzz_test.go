@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestRandomizedConfigurations fuzzes the simulator across random
+// workloads, policies, mechanisms, quanta and arrival patterns, checking
+// the invariants that must hold for every run:
+//
+//   - every task finishes, after it arrived, no earlier than its isolated
+//     execution time;
+//   - the occupancy timeline never overlaps;
+//   - busy cycles never exceed the makespan;
+//   - non-preemptive runs record no preemptions.
+func TestRandomizedConfigurations(t *testing.T) {
+	cfg, _, gen := fixtures(t)
+	policies := []string{"FCFS", "RRB", "HPF", "TOKEN", "SJF", "PREMA"}
+	selectors := []string{"static-checkpoint", "static-kill", "static-drain",
+		"static-kill-layer", "dynamic", "dynamic-kill", "dynamic-kill-layer"}
+	rng := rand.New(rand.NewPCG(0xF022, 0x1))
+
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		scfg := sched.DefaultConfig()
+		scfg.Quantum = time.Duration(50+rng.IntN(2000)) * time.Microsecond
+
+		nTasks := 1 + rng.IntN(10)
+		window := time.Duration(rng.IntN(30)) * time.Millisecond
+		spec := workload.Spec{Tasks: nTasks, ArrivalWindow: window + time.Millisecond}
+		if rng.IntN(3) == 0 {
+			spec.BatchSizes = []int{1 + rng.IntN(16)}
+		}
+		if rng.IntN(4) == 0 {
+			spec.Estimator = workload.Oracle()
+		}
+		tasks, err := gen.Generate(spec, workload.RNGFor(0xF022, trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		policy := policies[rng.IntN(len(policies))]
+		preemptive := rng.IntN(2) == 1
+		selector := ""
+		if preemptive {
+			selector = selectors[rng.IntN(len(selectors))]
+		}
+
+		res := runScenario(t, cfg, scfg, policy, preemptive, selector, tasks)
+		for _, task := range res.Tasks {
+			if task.State != sched.Finished {
+				t.Fatalf("trial %d (%s/%s): task %d unfinished",
+					trial, policy, selector, task.ID)
+			}
+			if task.Completion < task.Arrival {
+				t.Fatalf("trial %d: task %d completed before arrival", trial, task.ID)
+			}
+			if task.Turnaround() < task.IsolatedCycles {
+				t.Fatalf("trial %d (%s/%s): task %d turnaround %d < isolated %d",
+					trial, policy, selector, task.ID, task.Turnaround(), task.IsolatedCycles)
+			}
+		}
+		if err := res.Timeline.Validate(); err != nil {
+			t.Fatalf("trial %d (%s/%s): %v", trial, policy, selector, err)
+		}
+		if busy := res.Timeline.BusyCycles(); busy > res.Cycles {
+			t.Fatalf("trial %d: busy %d > makespan %d", trial, busy, res.Cycles)
+		}
+		if !preemptive && len(res.Preemptions) != 0 {
+			t.Fatalf("trial %d: NP run recorded preemptions", trial)
+		}
+	}
+}
+
+// TestSimultaneousArrivals exercises the degenerate arrival pattern where
+// every task is dispatched at cycle zero.
+func TestSimultaneousArrivals(t *testing.T) {
+	cfg, scfg, gen := fixtures(t)
+	var tasks []*workload.Task
+	for i, name := range []string{"CNN-AN", "CNN-GN", "CNN-MN", "RNN-SA"} {
+		task, err := gen.InstanceByName(i, name, 1, sched.Priorities[i%3], 0, workload.RNGFor(8, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task)
+	}
+	res := runScenario(t, cfg, scfg, "PREMA", true, "dynamic", tasks)
+	if len(res.Tasks) != 4 {
+		t.Fatalf("completed %d of 4", len(res.Tasks))
+	}
+	// Work-conserving: the makespan equals the sum of executions plus
+	// overheads; with no arrival gaps the NPU should never idle.
+	var busy int64
+	for _, s := range res.Timeline.Spans() {
+		busy += s.Duration()
+	}
+	if frac := float64(busy) / float64(res.Cycles); frac < 0.99 {
+		t.Errorf("NPU idle %.1f%% despite simultaneous arrivals", (1-frac)*100)
+	}
+}
+
+// TestSingleTaskAllPolicies checks the degenerate one-task system: every
+// policy must schedule it immediately and its turnaround must equal its
+// isolated time exactly.
+func TestSingleTaskAllPolicies(t *testing.T) {
+	cfg, scfg, gen := fixtures(t)
+	for _, policy := range []string{"FCFS", "RRB", "HPF", "TOKEN", "SJF", "PREMA"} {
+		task, err := gen.InstanceByName(0, "CNN-GN", 4, sched.Medium, 1000, workload.RNGFor(9, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runScenario(t, cfg, scfg, policy, true, "dynamic", []*workload.Task{task})
+		got := res.Tasks[0].Turnaround()
+		if got != res.Tasks[0].IsolatedCycles {
+			t.Errorf("%s: sole task turnaround %d != isolated %d",
+				policy, got, res.Tasks[0].IsolatedCycles)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package sparsity models per-layer activation density for the
+// characterization study of Figure 7 and the SCNN validation of
+// Section V-B(3). The paper's empirical finding is that activation
+// density — the fraction of non-zero activations a layer emits, which is
+// input-data dependent — varies only slightly across inputs at inference
+// time, which is one of the two reasons sparsity-optimized NPUs retain
+// predictable execution times (the other being that weight sparsity is
+// fixed after pruning).
+//
+// We encode a published-shape density profile per VGG-class layer (deep
+// layers grow sparser under ReLU) and a small per-input lognormal jitter,
+// so the regenerated Figure 7 shows the same tight per-layer bands.
+package sparsity
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/stats"
+)
+
+// LayerProfile is the density characterization of one layer.
+type LayerProfile struct {
+	// Layer is the layer label (c01..c13, fc1..fc2 for VGG).
+	Layer string
+	// MeanDensity is the average fraction of non-zero output
+	// activations across inputs.
+	MeanDensity float64
+	// Jitter is the relative standard deviation across inputs;
+	// Figure 7's bands are narrow, a few percent.
+	Jitter float64
+}
+
+// Sample draws the activation density for one input.
+func (p LayerProfile) Sample(rng *rand.Rand) float64 {
+	d := p.MeanDensity * math.Exp(rng.NormFloat64()*p.Jitter)
+	return stats.Clamp(d, 0.01, 1.0)
+}
+
+// VGGProfile returns the per-layer mean densities for VGGNet matching the
+// qualitative shape of Figure 7: early convolutional layers are dense
+// (ReLU has pruned little), density declines through the middle of the
+// network, and the fully-connected layers are the sparsest.
+func VGGProfile() []LayerProfile {
+	means := []struct {
+		layer string
+		mean  float64
+	}{
+		{"c01", 0.72}, {"c02", 0.85}, {"c03", 0.62}, {"c04", 0.60},
+		{"c05", 0.52}, {"c06", 0.48}, {"c07", 0.38}, {"c08", 0.42},
+		{"c09", 0.32}, {"c10", 0.22}, {"c11", 0.25}, {"c12", 0.18},
+		{"c13", 0.12}, {"fc1", 0.08}, {"fc2", 0.12},
+	}
+	out := make([]LayerProfile, len(means))
+	for i, m := range means {
+		out[i] = LayerProfile{Layer: m.layer, MeanDensity: m.mean, Jitter: 0.05}
+	}
+	return out
+}
+
+// AlexNetProfile returns a density profile for AlexNet's conv/fc layers
+// (the paper reports similar stability for AlexNet and GoogLeNet).
+func AlexNetProfile() []LayerProfile {
+	means := []struct {
+		layer string
+		mean  float64
+	}{
+		{"conv1", 0.80}, {"conv2", 0.55}, {"conv3", 0.40},
+		{"conv4", 0.38}, {"conv5", 0.30}, {"fc6", 0.10},
+		{"fc7", 0.15}, {"fc8", 0.30},
+	}
+	out := make([]LayerProfile, len(means))
+	for i, m := range means {
+		out[i] = LayerProfile{Layer: m.layer, MeanDensity: m.mean, Jitter: 0.06}
+	}
+	return out
+}
+
+// GoogLeNetProfile returns a coarse density profile over GoogLeNet's
+// inception stages.
+func GoogLeNetProfile() []LayerProfile {
+	means := []struct {
+		layer string
+		mean  float64
+	}{
+		{"conv1", 0.75}, {"conv2", 0.60}, {"3a", 0.50}, {"3b", 0.45},
+		{"4a", 0.40}, {"4b", 0.38}, {"4c", 0.35}, {"4d", 0.32},
+		{"4e", 0.30}, {"5a", 0.25}, {"5b", 0.20}, {"fc", 0.25},
+	}
+	out := make([]LayerProfile, len(means))
+	for i, m := range means {
+		out[i] = LayerProfile{Layer: m.layer, MeanDensity: m.mean, Jitter: 0.06}
+	}
+	return out
+}
+
+// ProfileFor returns the density profile for a CNN workload label.
+func ProfileFor(model string) ([]LayerProfile, error) {
+	switch model {
+	case "CNN-VN":
+		return VGGProfile(), nil
+	case "CNN-AN":
+		return AlexNetProfile(), nil
+	case "CNN-GN":
+		return GoogLeNetProfile(), nil
+	default:
+		return nil, fmt.Errorf("sparsity: no density profile for %q", model)
+	}
+}
+
+// Characterize runs n synthetic inferences over a profile and returns the
+// per-layer density summaries — one x-position of Figure 7 per layer.
+func Characterize(profile []LayerProfile, n int, rng *rand.Rand) []stats.Summary {
+	out := make([]stats.Summary, len(profile))
+	for i, p := range profile {
+		xs := make([]float64, n)
+		for j := 0; j < n; j++ {
+			xs[j] = p.Sample(rng)
+		}
+		out[i] = stats.Summarize(xs)
+	}
+	return out
+}

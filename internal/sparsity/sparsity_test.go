@@ -1,0 +1,78 @@
+package sparsity
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestProfilesExistForCharacterizedModels(t *testing.T) {
+	for _, model := range []string{"CNN-VN", "CNN-AN", "CNN-GN"} {
+		p, err := ProfileFor(model)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if len(p) == 0 {
+			t.Fatalf("%s: empty profile", model)
+		}
+		for _, lp := range p {
+			if lp.MeanDensity <= 0 || lp.MeanDensity > 1 {
+				t.Errorf("%s/%s: mean density %v outside (0,1]", model, lp.Layer, lp.MeanDensity)
+			}
+			if lp.Jitter < 0 || lp.Jitter > 0.2 {
+				t.Errorf("%s/%s: jitter %v implausible for Figure 7", model, lp.Layer, lp.Jitter)
+			}
+		}
+	}
+	if _, err := ProfileFor("RNN-SA"); err == nil {
+		t.Error("RNN models have no density profile")
+	}
+}
+
+func TestVGGProfileMatchesFigure7Labels(t *testing.T) {
+	p := VGGProfile()
+	if len(p) != 15 {
+		t.Fatalf("VGG profile has %d layers, want 15 (c01..c13, fc1, fc2)", len(p))
+	}
+	if p[0].Layer != "c01" || p[12].Layer != "c13" || p[13].Layer != "fc1" || p[14].Layer != "fc2" {
+		t.Error("layer labels do not match Figure 7's x-axis")
+	}
+	// Qualitative shape: deep conv layers sparser than early ones, FC
+	// layers sparsest.
+	if p[12].MeanDensity >= p[0].MeanDensity {
+		t.Error("density should decline through the network under ReLU")
+	}
+	if p[13].MeanDensity >= p[2].MeanDensity {
+		t.Error("FC layers should be sparser than early convs")
+	}
+}
+
+func TestSampleBounded(t *testing.T) {
+	rng := stats.NewRNG(1, 2)
+	lp := LayerProfile{Layer: "x", MeanDensity: 0.5, Jitter: 0.05}
+	for i := 0; i < 1000; i++ {
+		d := lp.Sample(rng)
+		if d < 0.01 || d > 1 {
+			t.Fatalf("sampled density %v outside [0.01,1]", d)
+		}
+	}
+}
+
+func TestCharacterizeStability(t *testing.T) {
+	// Figure 7's claim: per-layer density varies little across inputs.
+	rng := stats.NewRNG(3, 4)
+	sums := Characterize(VGGProfile(), 1000, rng)
+	profile := VGGProfile()
+	for i, s := range sums {
+		if s.N != 1000 {
+			t.Fatalf("layer %d: %d samples", i, s.N)
+		}
+		if rel := s.IQR() / s.Mean; rel > 0.15 {
+			t.Errorf("layer %s: IQR/mean %.2f too wide for Figure 7", profile[i].Layer, rel)
+		}
+		if s.Mean < profile[i].MeanDensity*0.9 || s.Mean > profile[i].MeanDensity*1.1 {
+			t.Errorf("layer %s: sampled mean %.3f far from profile %.3f",
+				profile[i].Layer, s.Mean, profile[i].MeanDensity)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/npu"
+)
+
+func TestSpansSortedAndMakespan(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(Span{TaskID: 2, Label: "b", Start: 100, End: 200})
+	tl.Add(Span{TaskID: 1, Label: "a", Start: 0, End: 50})
+	spans := tl.Spans()
+	if spans[0].TaskID != 1 || spans[1].TaskID != 2 {
+		t.Error("spans not sorted by start")
+	}
+	if tl.Makespan() != 200 {
+		t.Errorf("makespan = %d", tl.Makespan())
+	}
+	if tl.BusyCycles() != 150 {
+		t.Errorf("busy = %d", tl.BusyCycles())
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	tl := &Timeline{}
+	tl.Add(Span{TaskID: 1, Start: 0, End: 100})
+	tl.Add(Span{TaskID: 2, Start: 50, End: 150})
+	if err := tl.Validate(); err == nil {
+		t.Error("overlapping spans must fail validation")
+	}
+	ok := &Timeline{}
+	ok.Add(Span{TaskID: 1, Start: 0, End: 100})
+	ok.Add(Span{TaskID: 2, Start: 100, End: 150})
+	if err := ok.Validate(); err != nil {
+		t.Errorf("back-to-back spans should validate: %v", err)
+	}
+}
+
+func TestAddRejectsInvertedSpan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inverted span should panic")
+		}
+	}()
+	(&Timeline{}).Add(Span{Start: 10, End: 5})
+}
+
+func TestRender(t *testing.T) {
+	cfg := npu.DefaultConfig()
+	tl := &Timeline{}
+	tl.Add(Span{TaskID: 0, Label: "CNN-VN", Start: 0, End: 700_000})
+	tl.Add(Span{TaskID: 1, Label: "CNN-AN", Start: 700_000, End: 1_400_000})
+	out := tl.Render(cfg, 60)
+	if !strings.Contains(out, "T0 CNN-VN") || !strings.Contains(out, "T1 CNN-AN") {
+		t.Errorf("render missing task rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("render has no occupancy marks")
+	}
+	if !strings.Contains(out, "2.00 ms") {
+		t.Errorf("render missing makespan label:\n%s", out)
+	}
+	// Narrow widths are clamped rather than crashing.
+	if (&Timeline{}).Render(cfg, 5) == "" {
+		t.Error("empty timeline should still render a placeholder")
+	}
+}
+
+func TestRenderOrdersRowsByFirstAppearance(t *testing.T) {
+	cfg := npu.DefaultConfig()
+	tl := &Timeline{}
+	tl.Add(Span{TaskID: 9, Label: "late", Start: 500, End: 600})
+	tl.Add(Span{TaskID: 3, Label: "early", Start: 0, End: 100})
+	out := tl.Render(cfg, 40)
+	if strings.Index(out, "T3") > strings.Index(out, "T9") {
+		t.Error("rows should be ordered by first appearance in time")
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	if (Span{Start: 5, End: 17}).Duration() != 12 {
+		t.Error("duration wrong")
+	}
+}

@@ -1,0 +1,276 @@
+// Package prema is the public facade of the PREMA reproduction: a
+// preemptible-NPU multi-tenant inference simulator with the predictive
+// token-based scheduler of Choi & Rhu, "PREMA: A Predictive Multi-task
+// Scheduling Algorithm For Preemptible Neural Processing Units"
+// (HPCA 2020).
+//
+// The facade wires the internal substrates together behind a small API:
+//
+//	sys, _ := prema.NewSystem(prema.Defaults())
+//	tasks, _ := sys.Workload(prema.WorkloadSpec{Tasks: 8}, 1)
+//	res, _ := sys.Simulate(prema.Scheduler{Policy: "PREMA", Preemptive: true,
+//	        Mechanism: "dynamic"}, tasks)
+//	fmt.Println(res.Metrics.ANTT, res.Metrics.STP)
+//
+// Lower-level control (custom models, predictors, preemption mechanisms,
+// experiment harnesses) lives in the internal packages; the cmd/ tools and
+// examples/ directory demonstrate the intended usage patterns.
+package prema
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dnn"
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/npu"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options configures a System.
+type Options struct {
+	// NPU is the accelerator configuration (Table I of the paper).
+	NPU npu.Config
+	// Sched is the scheduler configuration (Table II).
+	Sched sched.Config
+	// ProfileSeed seeds the seq2seq length-characterization corpora.
+	ProfileSeed uint64
+}
+
+// Defaults returns the paper's configuration.
+func Defaults() Options {
+	return Options{
+		NPU:         npu.DefaultConfig(),
+		Sched:       sched.DefaultConfig(),
+		ProfileSeed: 0xA11CE,
+	}
+}
+
+// System is a ready-to-use simulation environment: one NPU configuration,
+// a compiled-program cache, the benchmark model zoo, and the sequence-
+// length profile library.
+type System struct {
+	opt Options
+	gen *workload.Generator
+}
+
+// NewSystem builds a System.
+func NewSystem(opt Options) (*System, error) {
+	if err := opt.NPU.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(opt.NPU, opt.ProfileSeed)
+	if err != nil {
+		return nil, err
+	}
+	return &System{opt: opt, gen: gen}, nil
+}
+
+// NPU returns the accelerator configuration.
+func (s *System) NPU() npu.Config { return s.opt.NPU }
+
+// Models returns the benchmark model zoo labels.
+func (s *System) Models() []string { return dnn.Names() }
+
+// WorkloadSpec mirrors workload.Spec for the facade.
+type WorkloadSpec struct {
+	// Tasks is the number of co-scheduled inference requests.
+	Tasks int
+	// Models restricts the model pool by label; empty selects the
+	// paper's eight-model suite.
+	Models []string
+	// BatchSizes restricts the batch pool; empty selects {1,4,16}.
+	BatchSizes []int
+	// ArrivalWindow is the dispatch window (default 20ms).
+	ArrivalWindow time.Duration
+	// Oracle feeds exact execution times to the scheduler instead of
+	// the Algorithm 1 predictor.
+	Oracle bool
+}
+
+// Workload draws one multi-tasked workload; run seeds the randomness so
+// repeated calls with the same run compare schedulers on identical mixes.
+func (s *System) Workload(spec WorkloadSpec, run int) ([]*workload.Task, error) {
+	wspec := workload.Spec{
+		Tasks:         spec.Tasks,
+		BatchSizes:    spec.BatchSizes,
+		ArrivalWindow: spec.ArrivalWindow,
+	}
+	for _, name := range spec.Models {
+		m, err := dnn.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		wspec.Models = append(wspec.Models, m)
+	}
+	if spec.Oracle {
+		wspec.Estimator = workload.Oracle()
+	}
+	rng := workload.RNGFor(0xBEEF, run)
+	return s.gen.Generate(wspec, rng)
+}
+
+// Scheduler selects a scheduling configuration by label.
+type Scheduler struct {
+	// Policy is one of FCFS, RRB, HPF, TOKEN, SJF, PREMA.
+	Policy string
+	// Preemptive enables the preemptible-NPU path.
+	Preemptive bool
+	// Mechanism selects the preemption-mechanism configuration for
+	// preemptive runs: "static-checkpoint", "static-kill",
+	// "static-drain", "dynamic" (Algorithm 3), or "dynamic-kill".
+	Mechanism string
+}
+
+// Result is the outcome of one simulated multi-tenant run.
+type Result struct {
+	// Metrics are the Equation 1-2 figures of merit.
+	Metrics metrics.Run
+	// Tasks are the completed scheduler entries.
+	Tasks []*sched.Task
+	// Preemptions are the serviced preemption events.
+	Preemptions []sim.PreemptionEvent
+	// MakespanCycles is the completion time of the last task.
+	MakespanCycles int64
+	// Timeline reconstructs NPU occupancy for rendering.
+	Timeline *trace.Timeline
+}
+
+// Simulate runs one workload under the given scheduler configuration.
+func (s *System) Simulate(cfg Scheduler, tasks []*workload.Task) (*Result, error) {
+	policy, err := sched.ByName(cfg.Policy, s.opt.Sched)
+	if err != nil {
+		return nil, err
+	}
+	var selector sched.MechanismSelector
+	if cfg.Preemptive {
+		mech := cfg.Mechanism
+		if mech == "" {
+			mech = "dynamic"
+		}
+		selector, err = sched.SelectorByName(mech)
+		if err != nil {
+			return nil, err
+		}
+	}
+	simulator, err := sim.New(sim.Options{
+		NPU: s.opt.NPU, Sched: s.opt.Sched,
+		Policy: policy, Preemptive: cfg.Preemptive, Selector: selector,
+	}, workload.SchedTasks(tasks))
+	if err != nil {
+		return nil, err
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		return nil, err
+	}
+	m, err := metrics.FromTasks(res.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Metrics:        m,
+		Tasks:          res.Tasks,
+		Preemptions:    res.Preemptions,
+		MakespanCycles: res.Cycles,
+		Timeline:       res.Timeline,
+	}, nil
+}
+
+// SLAViolationRate reports the fraction of tasks violating an SLA target
+// expressed as a multiple of each task's isolated execution time.
+func (r *Result) SLAViolationRate(target float64) float64 {
+	return metrics.SLAViolationRate(r.Tasks, target)
+}
+
+// Node configures a multi-NPU system node (the paper's Section II-C
+// deployment model, implemented as the beyond-paper extension in
+// internal/cluster).
+type Node struct {
+	// NPUs is the accelerator count (>= 1).
+	NPUs int
+	// Routing selects the router: "round-robin", "least-queued", or
+	// "least-work" (predictive, reusing the Algorithm 1 estimates).
+	Routing string
+	// Local is the per-NPU scheduler configuration.
+	Local Scheduler
+}
+
+// NodeResult aggregates a cluster simulation.
+type NodeResult struct {
+	// Metrics span all tasks on all NPUs.
+	Metrics metrics.Run
+	// Tasks pools the completed scheduler entries.
+	Tasks []*sched.Task
+	// PerNPU summarizes each accelerator's share.
+	PerNPU []cluster.NPUStats
+	// Preemptions counts serviced preemptions clusterwide.
+	Preemptions int
+}
+
+// SimulateNode routes the workload across the node's NPUs and simulates
+// each accelerator under its local scheduler.
+func (s *System) SimulateNode(node Node, tasks []*workload.Task) (*NodeResult, error) {
+	var routing cluster.RoutingPolicy
+	switch node.Routing {
+	case "", "round-robin":
+		routing = cluster.RoundRobin
+	case "least-queued":
+		routing = cluster.LeastQueued
+	case "least-work":
+		routing = cluster.LeastWork
+	default:
+		return nil, fmt.Errorf("prema: unknown routing policy %q", node.Routing)
+	}
+	res, err := cluster.Run(cluster.Options{
+		NPUs: node.NPUs, Routing: routing,
+		NPU: s.opt.NPU, Sched: s.opt.Sched,
+		LocalPolicy: node.Local.Policy,
+		Preemptive:  node.Local.Preemptive,
+		Selector:    node.Local.Mechanism,
+	}, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return &NodeResult{
+		Metrics:     res.Metrics,
+		Tasks:       res.Tasks,
+		PerNPU:      res.PerNPU,
+		Preemptions: res.Preemptions,
+	}, nil
+}
+
+// Experiments lists the registered paper experiments.
+func Experiments() []string { return exp.IDs() }
+
+// RunExperiment regenerates one paper figure/table by ID and returns the
+// rendered tables.
+func RunExperiment(id string) ([]string, error) {
+	e, err := exp.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := exp.NewSuite()
+	if err != nil {
+		return nil, err
+	}
+	tables, err := e.Run(suite)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(tables))
+	for i, t := range tables {
+		out[i] = t.String()
+	}
+	return out, nil
+}
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
+
+var _ = fmt.Sprintf // keep fmt in the import set for doc examples

@@ -1,0 +1,220 @@
+package prema
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemValidatesConfig(t *testing.T) {
+	opt := Defaults()
+	opt.NPU.SW = 0
+	if _, err := NewSystem(opt); err == nil {
+		t.Error("invalid NPU config should be rejected")
+	}
+}
+
+func TestModelsListed(t *testing.T) {
+	sys := newSystem(t)
+	names := sys.Models()
+	if len(names) < 8 {
+		t.Fatalf("only %d models listed", len(names))
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"CNN-VN", "RNN-MT2", "RNN-ASR"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("model %s missing from zoo listing", want)
+		}
+	}
+}
+
+func TestWorkloadOptions(t *testing.T) {
+	sys := newSystem(t)
+	tasks, err := sys.Workload(WorkloadSpec{
+		Tasks:         5,
+		Models:        []string{"CNN-AN", "CNN-GN"},
+		BatchSizes:    []int{4},
+		ArrivalWindow: 5 * time.Millisecond,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if task.Model != "CNN-AN" && task.Model != "CNN-GN" {
+			t.Errorf("model %s outside restricted pool", task.Model)
+		}
+		if task.Batch != 4 {
+			t.Errorf("batch %d, want 4", task.Batch)
+		}
+	}
+	if _, err := sys.Workload(WorkloadSpec{Tasks: 2, Models: []string{"NOPE"}}, 0); err == nil {
+		t.Error("unknown model in spec should error")
+	}
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	sys := newSystem(t)
+	tasks, err := sys.Workload(WorkloadSpec{Tasks: 6}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Simulate(Scheduler{Policy: "PREMA", Preemptive: true, Mechanism: "dynamic"}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ANTT < 1 {
+		t.Errorf("ANTT %v below 1", res.Metrics.ANTT)
+	}
+	if res.Metrics.STP <= 0 || res.Metrics.STP > 6 {
+		t.Errorf("STP %v outside (0, n]", res.Metrics.STP)
+	}
+	if res.MakespanCycles <= 0 {
+		t.Error("non-positive makespan")
+	}
+	if res.SLAViolationRate(1e9) != 0 {
+		t.Error("infinite SLA target should never be violated")
+	}
+	if err := res.Timeline.Validate(); err != nil {
+		t.Errorf("timeline overlaps: %v", err)
+	}
+	if out := res.Timeline.Render(sys.NPU(), 80); !strings.Contains(out, "#") {
+		t.Error("timeline render empty")
+	}
+}
+
+func TestSimulateDefaultsMechanism(t *testing.T) {
+	sys := newSystem(t)
+	tasks, err := sys.Workload(WorkloadSpec{Tasks: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preemptive with no mechanism specified defaults to dynamic.
+	if _, err := sys.Simulate(Scheduler{Policy: "SJF", Preemptive: true}, tasks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateRejectsUnknownLabels(t *testing.T) {
+	sys := newSystem(t)
+	tasks, err := sys.Workload(WorkloadSpec{Tasks: 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Simulate(Scheduler{Policy: "NOPE"}, tasks); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if _, err := sys.Simulate(Scheduler{Policy: "SJF", Preemptive: true,
+		Mechanism: "bogus"}, tasks); err == nil {
+		t.Error("unknown mechanism should error")
+	}
+}
+
+func TestPREMABeatsFCFSOnWorkloadAverage(t *testing.T) {
+	// The repository's headline claim, exercised through the public
+	// API: PREMA with dynamic preemption improves ANTT over NP-FCFS.
+	sys := newSystem(t)
+	const runs = 8
+	var fcfs, prema float64
+	for r := 0; r < runs; r++ {
+		tasks, err := sys.Workload(WorkloadSpec{Tasks: 8}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := sys.Simulate(Scheduler{Policy: "FCFS"}, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fcfs += a.Metrics.ANTT / runs
+		tasks, err = sys.Workload(WorkloadSpec{Tasks: 8}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sys.Simulate(Scheduler{Policy: "PREMA", Preemptive: true, Mechanism: "dynamic"}, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prema += b.Metrics.ANTT / runs
+	}
+	if fcfs/prema < 2 {
+		t.Errorf("PREMA ANTT improvement %.2fx over FCFS; expected well above 2x", fcfs/prema)
+	}
+}
+
+func TestOracleWorkload(t *testing.T) {
+	sys := newSystem(t)
+	tasks, err := sys.Workload(WorkloadSpec{Tasks: 4, Oracle: true}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range tasks {
+		if task.EstimatedCycles != task.IsolatedCycles {
+			t.Error("oracle workload should carry exact estimates")
+		}
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+	out, err := RunExperiment("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || !strings.Contains(out[0], "fig7") {
+		t.Error("experiment output empty")
+	}
+	if _, err := RunExperiment("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestSimulateNode(t *testing.T) {
+	sys := newSystem(t)
+	tasks, err := sys.Workload(WorkloadSpec{Tasks: 12}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.SimulateNode(Node{
+		NPUs: 3, Routing: "least-work",
+		Local: Scheduler{Policy: "PREMA", Preemptive: true, Mechanism: "dynamic"},
+	}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 12 {
+		t.Fatalf("completed %d of 12 tasks", len(res.Tasks))
+	}
+	if len(res.PerNPU) != 3 {
+		t.Fatalf("per-NPU stats for %d NPUs", len(res.PerNPU))
+	}
+	if res.Metrics.ANTT < 1 {
+		t.Errorf("node ANTT %v below 1", res.Metrics.ANTT)
+	}
+	if _, err := sys.SimulateNode(Node{NPUs: 2, Routing: "warp-drive",
+		Local: Scheduler{Policy: "FCFS"}}, tasks); err == nil {
+		t.Error("unknown routing should error")
+	}
+}
+
+func TestSimulateNodeDefaultRouting(t *testing.T) {
+	sys := newSystem(t)
+	tasks, err := sys.Workload(WorkloadSpec{Tasks: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.SimulateNode(Node{NPUs: 2,
+		Local: Scheduler{Policy: "FCFS"}}, tasks); err != nil {
+		t.Errorf("empty routing should default to round-robin: %v", err)
+	}
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# ci.sh — tier-1 verification in one command: formatting, vet, build,
+# and the full test suite. Exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...

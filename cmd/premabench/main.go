@@ -9,6 +9,11 @@
 //	premabench -list              # list experiment IDs
 //	premabench -runs 10           # override the per-config run count
 //	premabench -csv results/      # additionally write CSV files
+//	premabench -parallel 1        # force sequential execution
+//
+// Experiments execute through the concurrent engine in internal/exp;
+// -parallel bounds its worker pool (default: GOMAXPROCS). Output is
+// byte-identical for every worker count.
 package main
 
 import (
@@ -24,11 +29,13 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		expFlag = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		runs    = flag.Int("runs", 0, "simulation runs per configuration (default 25)")
-		seed    = flag.Uint64("seed", 0, "workload seed (default: suite default)")
-		csvDir  = flag.String("csv", "", "directory to write per-table CSV files")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		runs     = flag.Int("runs", 0, "simulation runs per configuration (default 25)")
+		seed     = flag.Uint64("seed", 0, "workload seed (default: suite default)")
+		csvDir   = flag.String("csv", "", "directory to write per-table CSV files")
+		parallel = flag.Int("parallel", 0,
+			"simulation worker-pool size (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	)
 	flag.Parse()
 
@@ -48,6 +55,9 @@ func main() {
 	}
 	if *seed != 0 {
 		suite.Seed = *seed
+	}
+	if *parallel > 0 {
+		suite.Workers = *parallel
 	}
 
 	var selected []exp.Experiment

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/cluster"
@@ -39,6 +40,8 @@ func main() {
 		npus     = flag.Int("npus", 1, "NPUs in the node (>1 enables the cluster router)")
 		routing  = flag.String("routing", "least-work",
 			"cluster routing policy: round-robin|least-queued|least-work")
+		parallel = flag.Int("parallel", 0,
+			"concurrent per-NPU simulations in the cluster path (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	)
 	flag.Parse()
 
@@ -66,7 +69,11 @@ func main() {
 	}
 
 	if *npus > 1 {
-		runCluster(cfg, scfg, tasks, *npus, *routing, *policyName, *preemptive, *mechanism)
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		runCluster(cfg, scfg, tasks, *npus, *routing, *policyName, *preemptive, *mechanism, workers)
 		return
 	}
 
@@ -121,9 +128,10 @@ func main() {
 	_ = dnn.BatchSizes
 }
 
-// runCluster drives the multi-NPU node path.
+// runCluster drives the multi-NPU node path, simulating up to parallel
+// NPUs concurrently.
 func runCluster(cfg npu.Config, scfg sched.Config, tasks []*workload.Task,
-	npus int, routing, policy string, preemptive bool, mechanism string) {
+	npus int, routing, policy string, preemptive bool, mechanism string, parallel int) {
 
 	var rp cluster.RoutingPolicy
 	switch routing {
@@ -140,6 +148,7 @@ func runCluster(cfg npu.Config, scfg sched.Config, tasks []*workload.Task,
 		NPUs: npus, Routing: rp,
 		NPU: cfg, Sched: scfg,
 		LocalPolicy: policy, Preemptive: preemptive, Selector: mechanism,
+		Parallel: parallel,
 	}, tasks)
 	if err != nil {
 		fatal(err)

@@ -14,6 +14,8 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/npu"
@@ -66,6 +68,10 @@ type Options struct {
 	Preemptive bool
 	// Selector is the local preemption-mechanism selector label.
 	Selector string
+	// Parallel bounds how many per-NPU simulations run concurrently;
+	// 0 or 1 runs them sequentially. Results are identical either way:
+	// the NPUs share no state and outcomes are assembled in NPU order.
+	Parallel int
 }
 
 // Result aggregates a cluster run.
@@ -160,17 +166,16 @@ func Run(opt Options, tasks []*workload.Task) (*Result, error) {
 	if err := opt.NPU.Validate(); err != nil {
 		return nil, err
 	}
-	policy, err := sched.ByName(opt.LocalPolicy, opt.Sched)
-	if err != nil {
+	// Validate the labels once before fanning out.
+	if _, err := sched.ByName(opt.LocalPolicy, opt.Sched); err != nil {
 		return nil, err
 	}
-	var selector sched.MechanismSelector
+	sel := opt.Selector
 	if opt.Preemptive {
-		sel := opt.Selector
 		if sel == "" {
 			sel = "dynamic"
 		}
-		if selector, err = sched.SelectorByName(sel); err != nil {
+		if _, err := sched.SelectorByName(sel); err != nil {
 			return nil, err
 		}
 	}
@@ -179,23 +184,83 @@ func Run(opt Options, tasks []*workload.Task) (*Result, error) {
 		return nil, err
 	}
 
-	out := &Result{PerNPU: make([]NPUStats, opt.NPUs)}
-	for i, bucket := range buckets {
-		if len(bucket) == 0 {
-			continue
+	// runBucket simulates one NPU's routed tasks. Each bucket gets its
+	// own policy and selector instances (policies keep scratch state;
+	// see the sched.Policy contract), so buckets may run concurrently.
+	runBucket := func(i int) (*sim.Result, error) {
+		policy, err := sched.ByName(opt.LocalPolicy, opt.Sched)
+		if err != nil {
+			return nil, err
 		}
-		// Policies are stateless and safely shared; each simulator
-		// owns only its routed tasks.
+		var selector sched.MechanismSelector
+		if opt.Preemptive {
+			if selector, err = sched.SelectorByName(sel); err != nil {
+				return nil, err
+			}
+		}
 		simulator, err := sim.New(sim.Options{
 			NPU: opt.NPU, Sched: opt.Sched,
 			Policy: policy, Preemptive: opt.Preemptive, Selector: selector,
-		}, workload.SchedTasks(bucket))
+		}, workload.SchedTasks(buckets[i]))
 		if err != nil {
 			return nil, err
 		}
 		res, err := simulator.Run()
 		if err != nil {
 			return nil, fmt.Errorf("cluster: NPU %d: %w", i, err)
+		}
+		return res, nil
+	}
+
+	results := make([]*sim.Result, len(buckets))
+	errs := make([]error, len(buckets))
+	if workers := min(opt.Parallel, len(buckets)); workers > 1 {
+		// Claim-counter worker pool (the same shape as exp's engine):
+		// spawn min(Parallel, buckets) goroutines that pull the next
+		// un-simulated NPU index, rather than one goroutine per bucket.
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		next.Store(-1)
+		wg.Add(workers)
+		for k := 0; k < workers; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(buckets) {
+						return
+					}
+					if len(buckets[i]) == 0 {
+						continue
+					}
+					results[i], errs[i] = runBucket(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range buckets {
+			if len(buckets[i]) == 0 {
+				continue
+			}
+			if results[i], errs[i] = runBucket(i); errs[i] != nil {
+				break
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Assemble in NPU order so parallel output matches sequential.
+	out := &Result{PerNPU: make([]NPUStats, opt.NPUs)}
+	for i, res := range results {
+		if res == nil {
+			continue
 		}
 		out.Tasks = append(out.Tasks, res.Tasks...)
 		busy := res.Timeline.BusyCycles()

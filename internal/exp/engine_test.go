@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// fingerprint renders every observable field of a MultiResult with exact
+// float bit patterns, so two results compare equal only when they are
+// bit-identical: aggregate metrics, pooled task order and timing, and
+// pooled preemption order and cost.
+func fingerprint(m *MultiResult) string {
+	var b strings.Builder
+	bits := func(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+	fmt.Fprintf(&b, "cfg=%s agg={runs=%d antt=%s stp=%s fair=%s}\n",
+		m.Config.Label, m.Agg.Runs, bits(m.Agg.ANTT), bits(m.Agg.STP), bits(m.Agg.Fairness))
+	for i, t := range m.Tasks {
+		fmt.Fprintf(&b, "task[%d]={id=%d model=%s batch=%d prio=%d arrival=%d est=%d iso=%d token=%s start=%d completion=%d waited=%d preemptions=%d}\n",
+			i, t.ID, t.Model, t.Batch, t.Priority, t.Arrival, t.EstimatedCycles,
+			t.IsolatedCycles, bits(t.Token), t.Start, t.Completion, t.Waited, t.Preemptions)
+	}
+	for i, p := range m.Preemptions {
+		fmt.Fprintf(&b, "preempt[%d]={cycle=%d victim=%d by=%d cost=%+v}\n",
+			i, p.Cycle, p.Preempted, p.Preempting, p.Cost)
+	}
+	return b.String()
+}
+
+// TestEngineParallelMatchesSequential is the engine's determinism
+// contract (see the package comment): fanning (configuration x run)
+// pairs over the worker pool must produce MultiResults bit-identical to
+// a sequential Workers=1 execution — same aggregate floats, same pooled
+// task order, same pooled preemption order.
+func TestEngineParallelMatchesSequential(t *testing.T) {
+	spec := workload.Spec{Tasks: 8}
+	const runs = 6
+	cfgs := []SchedulerConfig{NP("FCFS"), DynamicCkpt("PREMA")}
+
+	newSuite := func(workers int) *Suite {
+		s, err := NewSuite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Workers = workers
+		return s
+	}
+
+	seq := newSuite(1)
+	seqResults, err := seq.RunConfigs(cfgs, spec, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 2, 7} {
+		par := newSuite(workers)
+		parResults, err := par.RunConfigs(cfgs, spec, runs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range cfgs {
+			want, got := fingerprint(seqResults[i]), fingerprint(parResults[i])
+			if want != got {
+				t.Errorf("workers=%d %s: parallel result diverges from sequential\n--- sequential\n%s--- parallel\n%s",
+					workers, cfgs[i].Label, want, got)
+			}
+		}
+	}
+}
+
+// TestEngineFirstError verifies the first-error policy: an invalid
+// configuration surfaces as an error, not a panic or partial result.
+func TestEngineFirstError(t *testing.T) {
+	s := fastSuite(t)
+	if _, err := s.RunConfigs([]SchedulerConfig{{Label: "bad", Policy: "nope"}},
+		workload.Spec{Tasks: 2}, 2); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+	if _, err := s.RunConfigs([]SchedulerConfig{{Label: "bad", Policy: "FCFS",
+		Preemptive: true, Selector: "nope"}}, workload.Spec{Tasks: 2}, 2); err == nil {
+		t.Fatal("unknown selector should error")
+	}
+}

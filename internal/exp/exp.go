@@ -4,6 +4,24 @@
 // series the paper reports — the same workloads, parameter sweeps,
 // baselines and metrics — against this repository's NPU simulator, and
 // returns text tables that cmd/premabench prints and bench_test.go wraps.
+//
+// # Execution engine
+//
+// Experiments execute through a concurrent engine (engine.go): every
+// evaluation decomposes into independent simulation runs — (scheduler
+// configuration x run index) pairs, or per-trial jobs for the
+// characterization figures — which fan out over Suite.Workers goroutines
+// (GOMAXPROCS by default). The engine is deterministic: each run draws
+// its workload from workload.RNGFor(Suite.Seed, run) and constructs its
+// own policy/selector instances, outcomes are written into
+// index-addressed slices, and all reductions happen sequentially in
+// (configuration, run) order after the fan-out joins — so parallel
+// results are byte-identical to a sequential execution (Workers = 1),
+// including float accumulation order and pooled task/preemption order.
+// On the first error the engine stops claiming new runs and reports the
+// lowest-indexed failure among the runs that executed (the identity of
+// that error may vary with worker count; the byte-identical guarantee
+// covers successful results).
 package exp
 
 import (
@@ -120,6 +138,10 @@ type Suite struct {
 	Runs int
 	// Seed drives all workload randomness deterministically.
 	Seed uint64
+	// Workers bounds the engine's worker pool; 0 (the default) uses
+	// GOMAXPROCS, 1 forces sequential execution. Results are identical
+	// for every value (see the package comment).
+	Workers int
 }
 
 // NewSuite builds the default experiment suite.
@@ -190,56 +212,6 @@ type MultiResult struct {
 	Tasks []*sched.Task
 	// Preemptions pools every preemption event.
 	Preemptions []sim.PreemptionEvent
-}
-
-// RunMulti executes runs simulations of cfg over workloads drawn from
-// spec. The r-th run of every configuration regenerates the identical
-// workload (same RNG stream), so configurations are compared on exactly
-// the same task mixes.
-func (s *Suite) RunMulti(cfg SchedulerConfig, spec workload.Spec, runs int) (*MultiResult, error) {
-	if runs <= 0 {
-		runs = s.Runs
-	}
-	policy, err := sched.ByName(cfg.Policy, s.Sched)
-	if err != nil {
-		return nil, err
-	}
-	var selector sched.MechanismSelector
-	if cfg.Selector != "" {
-		selector, err = sched.SelectorByName(cfg.Selector)
-		if err != nil {
-			return nil, err
-		}
-	}
-	out := &MultiResult{Config: cfg}
-	var perRun []metrics.Run
-	for r := 0; r < runs; r++ {
-		rng := workload.RNGFor(s.Seed, r)
-		tasks, err := s.Gen.Generate(spec, rng)
-		if err != nil {
-			return nil, err
-		}
-		simulator, err := sim.New(sim.Options{
-			NPU: s.NPU, Sched: s.Sched,
-			Policy: policy, Preemptive: cfg.Preemptive, Selector: selector,
-		}, workload.SchedTasks(tasks))
-		if err != nil {
-			return nil, err
-		}
-		res, err := simulator.Run()
-		if err != nil {
-			return nil, fmt.Errorf("%s run %d: %w", cfg.Label, r, err)
-		}
-		m, err := metrics.FromTasks(res.Tasks)
-		if err != nil {
-			return nil, err
-		}
-		perRun = append(perRun, m)
-		out.Tasks = append(out.Tasks, res.Tasks...)
-		out.Preemptions = append(out.Preemptions, res.Preemptions...)
-	}
-	out.Agg = metrics.Averaged(perRun)
-	return out, nil
 }
 
 // Experiment is a runnable evaluation entry.

@@ -63,12 +63,14 @@ func runCluster(s *Suite) ([]*Table, error) {
 				continue // routing is moot on a single NPU
 			}
 			for _, local := range locals {
-				var antt, stp, sla, preempts float64
-				for r := 0; r < runs; r++ {
+				// Fan the node-level runs out through the engine and
+				// reduce in run order afterwards.
+				perRun := make([]*cluster.Result, runs)
+				err := s.ForEach(runs, func(r int) error {
 					rng := workload.RNGFor(s.Seed^0xC105, r)
 					ts, err := s.Gen.Generate(workload.Spec{Tasks: tasks}, rng)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					res, err := cluster.Run(cluster.Options{
 						NPUs: npus, Routing: routing,
@@ -77,8 +79,16 @@ func runCluster(s *Suite) ([]*Table, error) {
 						Selector: "dynamic",
 					}, ts)
 					if err != nil {
-						return nil, err
+						return err
 					}
+					perRun[r] = res
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				var antt, stp, sla, preempts float64
+				for _, res := range perRun {
 					antt += res.Metrics.ANTT / runs
 					stp += res.Metrics.STP / runs
 					sla += metrics.SLAViolationRate(res.Tasks, 4) / runs
@@ -106,17 +116,20 @@ func runKillGranularity(s *Suite) ([]*Table, error) {
 			"wasted cycles/run (M)"},
 		Note: "footnote 2: tile/layer-boundary preemption points allow cheaper kills",
 	}
-	base, err := s.RunMulti(NP("FCFS"), workload.Spec{Tasks: 8}, s.Runs)
+	mechs := []string{"static-checkpoint", "static-kill-layer", "static-kill"}
+	cfgs := []SchedulerConfig{NP("FCFS")}
+	for _, mech := range mechs {
+		cfgs = append(cfgs, SchedulerConfig{Label: "P-PREMA/" + mech, Policy: "PREMA",
+			Preemptive: true, Selector: mech})
+	}
+	// One engine batch covers the baseline and all three granularities.
+	results, err := s.RunConfigs(cfgs, workload.Spec{Tasks: 8}, s.Runs)
 	if err != nil {
 		return nil, err
 	}
-	for _, mech := range []string{"static-checkpoint", "static-kill-layer", "static-kill"} {
-		cfg := SchedulerConfig{Label: "P-PREMA/" + mech, Policy: "PREMA",
-			Preemptive: true, Selector: mech}
-		res, err := s.RunMulti(cfg, workload.Spec{Tasks: 8}, s.Runs)
-		if err != nil {
-			return nil, err
-		}
+	base := results[0]
+	for i, mech := range mechs {
+		res := results[i+1]
 		imp := metrics.Relative(res.Agg, base.Agg)
 		var wasted float64
 		for _, task := range res.Tasks {
@@ -151,40 +164,49 @@ func runEnergy(s *Suite) ([]*Table, error) {
 	}
 	var baseTotal float64
 	for i, cfg := range cfgs {
-		policy, err := sched.ByName(cfg.Policy, s.Sched)
-		if err != nil {
-			return nil, err
-		}
-		var selector sched.MechanismSelector
-		if cfg.Selector != "" {
-			if selector, err = sched.SelectorByName(cfg.Selector); err != nil {
-				return nil, err
-			}
-		}
-		var sum energy.Breakdown
 		const runs = 10
-		for r := 0; r < runs; r++ {
+		// Fan the runs out through the engine (fresh policy/selector
+		// per run), then reduce the breakdowns in run order.
+		perRun := make([]energy.Breakdown, runs)
+		err := s.ForEach(runs, func(r int) error {
+			policy, err := sched.ByName(cfg.Policy, s.Sched)
+			if err != nil {
+				return err
+			}
+			var selector sched.MechanismSelector
+			if cfg.Selector != "" {
+				if selector, err = sched.SelectorByName(cfg.Selector); err != nil {
+					return err
+				}
+			}
 			rng := workload.RNGFor(s.Seed^0xE6E, r)
 			tasks, err := s.Gen.Generate(workload.Spec{Tasks: 8}, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			simulator, err := sim.New(sim.Options{
 				NPU: s.NPU, Sched: s.Sched, Policy: policy,
 				Preemptive: cfg.Preemptive, Selector: selector,
 			}, workload.SchedTasks(tasks))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := simulator.Run()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var costs []preempt.Cost
 			for _, ev := range res.Preemptions {
 				costs = append(costs, ev.Cost)
 			}
-			b := model.Run(s.NPU, res.Tasks, costs, res.Cycles)
+			perRun[r] = model.Run(s.NPU, res.Tasks, costs, res.Cycles)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var sum energy.Breakdown
+		for _, b := range perRun {
 			sum.ComputeJ += b.ComputeJ / runs
 			sum.SRAMJ += b.SRAMJ / runs
 			sum.DRAMJ += b.DRAMJ / runs

@@ -86,46 +86,59 @@ func runFig1(s *Suite) ([]*Table, error) {
 		}, nil
 	}
 
-	var isoGN, isoRN, co streamStats
-	for trial := 0; trial < trialsPerMx; trial++ {
+	// Each trial is independent (its own RNG stream and executions), so
+	// trials fan out through the engine; reduction stays in trial order.
+	type trialStats struct {
+		gn, rn, co streamStats
+	}
+	perTrial := make([]trialStats, trialsPerMx)
+	err := s.ForEach(trialsPerMx, func(trial int) error {
 		rng := workload.RNGFor(s.Seed^0xF161, trial)
 		gn, err := makeStream(models[0], 0, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rn, err := makeStream(models[1], 1000, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g, err := run(gn)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := run(rn)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Co-located: both streams share one NPU. Clone fresh
 		// executions by regenerating with the same RNG stream.
 		rng2 := workload.RNGFor(s.Seed^0xF161, trial)
 		gn2, err := makeStream(models[0], 0, rng2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rn2, err := makeStream(models[1], 1000, rng2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c, err := run(append(gn2, rn2...))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		isoGN.throughput += g.throughput / trialsPerMx
-		isoGN.latencyMS += g.latencyMS / trialsPerMx
-		isoRN.throughput += r.throughput / trialsPerMx
-		isoRN.latencyMS += r.latencyMS / trialsPerMx
-		co.throughput += c.throughput / trialsPerMx
-		co.latencyMS += c.latencyMS / trialsPerMx
+		perTrial[trial] = trialStats{gn: g, rn: r, co: c}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var isoGN, isoRN, co streamStats
+	for _, ts := range perTrial {
+		isoGN.throughput += ts.gn.throughput / trialsPerMx
+		isoGN.latencyMS += ts.gn.latencyMS / trialsPerMx
+		isoRN.throughput += ts.rn.throughput / trialsPerMx
+		isoRN.latencyMS += ts.rn.latencyMS / trialsPerMx
+		co.throughput += ts.co.throughput / trialsPerMx
+		co.latencyMS += ts.co.latencyMS / trialsPerMx
 	}
 
 	// Isolated aggregate: the two models each own the NPU half the

@@ -151,6 +151,38 @@ func runMechTrial(s *Suite, victim, preemptor *dnn.Model, victimBatch, preBatch 
 
 var mechNames = []string{"kill", "checkpoint", "drain"}
 
+// mechJob is one flattened (victim x preemptor x mechanism x trial)
+// two-task preemption trial.
+type mechJob struct {
+	victim, pre *dnn.Model
+	vb, pb      int
+	mech        string
+	trial       int
+}
+
+// mechIndex flattens an (outer-model, batch, mechanism, trial) tuple into
+// a job-list index. Figure 5/6 job construction and result consumption
+// both address through it, so the pairing cannot drift.
+func mechIndex(nb, nm, trials, oi, bi, mi, trial int) int {
+	return ((oi*nb+bi)*nm+mi)*trials + trial
+}
+
+// runMechTrials fans the trials out through the engine; results come back
+// index-aligned with jobs so reductions preserve sequential order.
+func runMechTrials(s *Suite, jobs []mechJob) ([]mechPair, error) {
+	out := make([]mechPair, len(jobs))
+	err := s.ForEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		p, err := runMechTrial(s, j.victim, j.pre, j.vb, j.pb, j.mech, j.trial)
+		if err != nil {
+			return err
+		}
+		out[i] = p
+		return nil
+	})
+	return out, err
+}
+
 // runFig5 regenerates Figure 5: x-axis is the preempted (victim) model
 // and batch size; the preemptor is drawn randomly per trial.
 func runFig5(s *Suite) ([]*Table, error) {
@@ -167,21 +199,41 @@ func runFig5(s *Suite) ([]*Table, error) {
 	sums := map[string][2]float64{} // mech -> [latency sum, wait sum] for the Avg row
 	counts := map[string][2]float64{}
 
-	for _, victim := range suite {
-		for _, b := range dnn.BatchSizes {
-			latRow := []string{victim.Name, fmt.Sprintf("b%02d", b)}
-			waitRow := []string{victim.Name, fmt.Sprintf("b%02d", b)}
-			for _, mech := range mechNames {
-				var latSum, waitSum float64
-				var latN, waitN int
+	// Flatten every (victim x batch x mechanism x trial) into one job
+	// list — the preemptor draw depends only on (trial, batch), exactly
+	// as in the sequential methodology — and fan it out. Construction
+	// and consumption share mechIndex, so results cannot drift out of
+	// alignment with their (victim, batch, mechanism) row.
+	nb, nm := len(dnn.BatchSizes), len(mechNames)
+	jobs := make([]mechJob, len(suite)*nb*nm*trials)
+	for vi, victim := range suite {
+		for bi, b := range dnn.BatchSizes {
+			for mi, mech := range mechNames {
 				for trial := 0; trial < trials; trial++ {
 					rng := workload.RNGFor(s.Seed^0xABCD, trial*131+b)
 					pre := suite[rng.IntN(len(suite))]
 					preB := dnn.BatchSizes[rng.IntN(len(dnn.BatchSizes))]
-					p, err := runMechTrial(s, victim, pre, b, preB, mech, trial)
-					if err != nil {
-						return nil, err
-					}
+					jobs[mechIndex(nb, nm, trials, vi, bi, mi, trial)] = mechJob{
+						victim: victim, pre: pre,
+						vb: b, pb: preB, mech: mech, trial: trial}
+				}
+			}
+		}
+	}
+	pairs, err := runMechTrials(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	for vi, victim := range suite {
+		for bi, b := range dnn.BatchSizes {
+			latRow := []string{victim.Name, fmt.Sprintf("b%02d", b)}
+			waitRow := []string{victim.Name, fmt.Sprintf("b%02d", b)}
+			for mi, mech := range mechNames {
+				var latSum, waitSum float64
+				var latN, waitN int
+				for trial := 0; trial < trials; trial++ {
+					p := pairs[mechIndex(nb, nm, trials, vi, bi, mi, trial)]
 					if p.ok {
 						latSum += p.preemptLatencyUS
 						latN++
@@ -237,20 +289,39 @@ func runFig6(s *Suite) ([]*Table, error) {
 
 	sums := map[string][2]float64{}
 	var rows float64
-	for _, pre := range suite {
-		for _, b := range dnn.BatchSizes {
-			stpRow := []string{pre.Name, fmt.Sprintf("b%02d", b)}
-			nttRow := []string{pre.Name, fmt.Sprintf("b%02d", b)}
-			for _, mech := range mechNames {
-				var stpSum, nttSum float64
+
+	// Flatten (preemptor x batch x mechanism x trial) and fan out; the
+	// victim draw depends only on (trial, batch) as in the sequential
+	// methodology. mechIndex keys both construction and consumption.
+	nb, nm := len(dnn.BatchSizes), len(mechNames)
+	jobs := make([]mechJob, len(suite)*nb*nm*trials)
+	for pi, pre := range suite {
+		for bi, b := range dnn.BatchSizes {
+			for mi, mech := range mechNames {
 				for trial := 0; trial < trials; trial++ {
 					rng := workload.RNGFor(s.Seed^0xDCBA, trial*137+b)
 					victim := suite[rng.IntN(len(suite))]
 					vb := dnn.BatchSizes[rng.IntN(len(dnn.BatchSizes))]
-					p, err := runMechTrial(s, victim, pre, vb, b, mech, trial)
-					if err != nil {
-						return nil, err
-					}
+					jobs[mechIndex(nb, nm, trials, pi, bi, mi, trial)] = mechJob{
+						victim: victim, pre: pre,
+						vb: vb, pb: b, mech: mech, trial: trial}
+				}
+			}
+		}
+	}
+	pairs, err := runMechTrials(s, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, pre := range suite {
+		for bi, b := range dnn.BatchSizes {
+			stpRow := []string{pre.Name, fmt.Sprintf("b%02d", b)}
+			nttRow := []string{pre.Name, fmt.Sprintf("b%02d", b)}
+			for mi, mech := range mechNames {
+				var stpSum, nttSum float64
+				for trial := 0; trial < trials; trial++ {
+					p := pairs[mechIndex(nb, nm, trials, pi, bi, mi, trial)]
 					stpSum += p.stpRatio
 					nttSum += p.nttRatio
 				}

@@ -31,18 +31,15 @@ func init() {
 }
 
 // policyComparison runs a list of scheduler configurations over identical
-// workloads and tabulates ANTT/fairness/STP improvements versus the first
+// workloads — all (configuration x run) pairs fanned out through the
+// engine — and tabulates ANTT/fairness/STP improvements versus the first
 // configuration (the baseline).
 func policyComparison(s *Suite, id, title, note string, cfgs []SchedulerConfig,
 	spec workload.Spec) (*Table, []*MultiResult, error) {
 
-	var results []*MultiResult
-	for _, cfg := range cfgs {
-		r, err := s.RunMulti(cfg, spec, s.Runs)
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, r)
+	results, err := s.RunConfigs(cfgs, spec, s.Runs)
+	if err != nil {
+		return nil, nil, err
 	}
 	base := results[0].Agg
 	t := &Table{
@@ -152,14 +149,11 @@ func runFig15(s *Suite) ([]*Table, error) {
 // times.
 func runOracle(s *Suite) ([]*Table, error) {
 	spec := workload.Spec{Tasks: 8}
-	base, err := s.RunMulti(NP("FCFS"), spec, s.Runs)
+	predicted, err := s.RunConfigs([]SchedulerConfig{NP("FCFS"), DynamicCkpt("PREMA")}, spec, s.Runs)
 	if err != nil {
 		return nil, err
 	}
-	pred, err := s.RunMulti(DynamicCkpt("PREMA"), spec, s.Runs)
-	if err != nil {
-		return nil, err
-	}
+	base, pred := predicted[0], predicted[1]
 	oracleSpec := spec
 	oracleSpec.Estimator = workload.Oracle()
 	oracle, err := s.RunMulti(DynamicCkpt("PREMA"), oracleSpec, s.Runs)

@@ -50,13 +50,9 @@ func runFig13(s *Suite) ([]*Table, error) {
 		Headers: headers,
 		Note:    "PREMA stays below 10% beyond N=4 (NP-FCFS: ~36% at tight targets); monotonically decreasing",
 	}
-	results := make([]*MultiResult, len(cfgs))
-	for i, c := range cfgs {
-		r, err := s.RunMulti(c, workload.Spec{Tasks: 8}, s.Runs)
-		if err != nil {
-			return nil, err
-		}
-		results[i] = r
+	results, err := s.RunConfigs(cfgs, workload.Spec{Tasks: 8}, s.Runs)
+	if err != nil {
+		return nil, err
 	}
 	for _, target := range targets {
 		row := []string{fmt.Sprintf("%.0f", target)}
@@ -106,55 +102,64 @@ func runFig14(s *Suite) ([]*Table, error) {
 		}
 		iso := percentile95(isoSamples)
 
-		tails := make([]float64, len(cfgs))
-		for ci, cfg := range cfgs {
+		// Fan every (configuration x run) probe simulation out through
+		// the engine; turns is index-addressed so the per-configuration
+		// turnaround series keeps its sequential run order.
+		turns := make([]float64, len(cfgs)*runs)
+		err := s.ForEach(len(turns), func(i int) error {
+			cfg, r := cfgs[i/runs], i%runs
 			policy, err := sched.ByName(cfg.Policy, s.Sched)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var sel sched.MechanismSelector
 			if cfg.Selector != "" {
 				if sel, err = sched.SelectorByName(cfg.Selector); err != nil {
-					return nil, err
+					return err
 				}
 			}
-			var probeTurnarounds []float64
-			for r := 0; r < runs; r++ {
-				rng := workload.RNGFor(s.Seed^0xF14, r*1000+hash8(m.Name))
-				// Probe first so its instance sampling matches the
-				// isolated measurement exactly.
-				probe, err := s.Gen.Instance(0, m, 1, sched.High, 0, nil, rng)
-				if err != nil {
-					return nil, err
-				}
-				spec := workload.Spec{Tasks: 7, BatchSizes: []int{1}}
-				competitors, err := s.Gen.Generate(spec, rng)
-				if err != nil {
-					return nil, err
-				}
-				// Re-identify the probe so IDs stay unique; it
-				// arrives mid-window to experience queueing.
-				probe.Task.ID = 100
-				probe.Task.Arrival = rng.Int64N(int64(10e-3 * s.NPU.FreqHz))
-				all := append(workload.SchedTasks(competitors), probe.Task)
-				simulator, err := sim.New(sim.Options{
-					NPU: s.NPU, Sched: s.Sched, Policy: policy,
-					Preemptive: cfg.Preemptive, Selector: sel,
-				}, all)
-				if err != nil {
-					return nil, err
-				}
-				res, err := simulator.Run()
-				if err != nil {
-					return nil, err
-				}
-				for _, task := range res.Tasks {
-					if task.ID == 100 {
-						probeTurnarounds = append(probeTurnarounds, float64(task.Turnaround()))
-					}
+			rng := workload.RNGFor(s.Seed^0xF14, r*1000+hash8(m.Name))
+			// Probe first so its instance sampling matches the
+			// isolated measurement exactly.
+			probe, err := s.Gen.Instance(0, m, 1, sched.High, 0, nil, rng)
+			if err != nil {
+				return err
+			}
+			spec := workload.Spec{Tasks: 7, BatchSizes: []int{1}}
+			competitors, err := s.Gen.Generate(spec, rng)
+			if err != nil {
+				return err
+			}
+			// Re-identify the probe so IDs stay unique; it
+			// arrives mid-window to experience queueing.
+			probe.Task.ID = 100
+			probe.Task.Arrival = rng.Int64N(int64(10e-3 * s.NPU.FreqHz))
+			all := append(workload.SchedTasks(competitors), probe.Task)
+			simulator, err := sim.New(sim.Options{
+				NPU: s.NPU, Sched: s.Sched, Policy: policy,
+				Preemptive: cfg.Preemptive, Selector: sel,
+			}, all)
+			if err != nil {
+				return err
+			}
+			res, err := simulator.Run()
+			if err != nil {
+				return err
+			}
+			for _, task := range res.Tasks {
+				if task.ID == 100 {
+					turns[i] = float64(task.Turnaround())
+					return nil
 				}
 			}
-			tails[ci] = percentile95(probeTurnarounds)
+			return fmt.Errorf("fig14: probe task missing from %s run %d", cfg.Label, r)
+		})
+		if err != nil {
+			return nil, err
+		}
+		tails := make([]float64, len(cfgs))
+		for ci := range cfgs {
+			tails[ci] = percentile95(turns[ci*runs : (ci+1)*runs])
 		}
 		t.AddRow(m.Name,
 			fmt.Sprintf("%.2f", s.NPU.Millis(int64(iso))),

@@ -64,19 +64,14 @@ func runSensitivity(s *Suite) ([]*Table, error) {
 		Note:    "the paper reports >=6.7x ANTT, >=6.2x fairness, >=1.4x STP across its sensitivity studies",
 	}
 	for _, c := range cases {
-		savedSched := s.Sched
-		s.Sched = c.sched
-		baseRes, err := s.RunMulti(NP("FCFS"), c.spec, s.Runs)
-		if err != nil {
-			s.Sched = savedSched
-			return nil, err
-		}
-		prema, err := s.RunMulti(DynamicCkpt("PREMA"), c.spec, s.Runs)
-		s.Sched = savedSched
+		// The perturbed scheduler configuration is passed explicitly so
+		// the shared Suite is never mutated mid-sweep.
+		results, err := s.RunConfigsSched(
+			[]SchedulerConfig{NP("FCFS"), DynamicCkpt("PREMA")}, c.sched, c.spec, s.Runs)
 		if err != nil {
 			return nil, err
 		}
-		imp := metrics.Relative(prema.Agg, baseRes.Agg)
+		imp := metrics.Relative(results[1].Agg, results[0].Agg)
 		t.AddRow(c.label,
 			fmt.Sprintf("%.2fx", imp.ANTT),
 			fmt.Sprintf("%.2fx", imp.Fairness),
@@ -114,16 +109,13 @@ func runThresholdAblation(s *Suite) ([]*Table, error) {
 		Note:    "rounding down keeps the candidate group non-trivial, balancing latency and priority",
 	}
 	for _, c := range cases {
-		saved := s.Sched
 		cfg := s.Sched
 		cfg.TokenThresholdLevels = c.levels
-		s.Sched = cfg
-		res, err := s.RunMulti(DynamicCkpt("PREMA"), spec, s.Runs)
-		s.Sched = saved
+		results, err := s.RunConfigsSched([]SchedulerConfig{DynamicCkpt("PREMA")}, cfg, spec, s.Runs)
 		if err != nil {
 			return nil, err
 		}
-		imp := metrics.Relative(res.Agg, baseRes.Agg)
+		imp := metrics.Relative(results[0].Agg, baseRes.Agg)
 		t.AddRow(c.label,
 			fmt.Sprintf("%.2fx", imp.ANTT),
 			fmt.Sprintf("%.2fx", imp.Fairness),

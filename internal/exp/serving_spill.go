@@ -55,13 +55,21 @@ func runBatching(s *Suite) ([]*Table, error) {
 			{"NP-FCFS", "FCFS", false},
 			{"Dynamic-PREMA", "PREMA", true},
 		} {
-			var batch, thr, lat, p95 float64
-			for trial := 0; trial < trials; trial++ {
+			perTrial := make([]serving.BatchStats, trials)
+			err := s.ForEach(trials, func(trial int) error {
 				st, err := server.RunBatched(serving.BatchSpec{Spec: spec, Window: window},
 					c.policy, c.preemptive, "dynamic", workload.RNGFor(s.Seed^0xBA7C, trial))
 				if err != nil {
-					return nil, err
+					return err
 				}
+				perTrial[trial] = st
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var batch, thr, lat, p95 float64
+			for _, st := range perTrial {
 				batch += st.MeanBatch / trials
 				thr += st.ThroughputPerSec / trials
 				lat += st.MeanLatencyMS / trials
@@ -103,14 +111,22 @@ func runLoadCurve(s *Suite) ([]*Table, error) {
 	for _, load := range []float64{0.3, 0.5, 0.7, 0.85, 0.95} {
 		row := []string{fmt.Sprintf("%.2f", load)}
 		for _, c := range configs {
-			var ntt, p95 float64
-			for trial := 0; trial < trials; trial++ {
+			perTrial := make([]serving.Stats, trials)
+			err := s.ForEach(trials, func(trial int) error {
 				st, err := server.Run(serving.Spec{
 					Horizon: 400 * time.Millisecond, OfferedLoad: load,
 				}, c.policy, c.preemptive, c.selector, workload.RNGFor(s.Seed^0x10AD, trial))
 				if err != nil {
-					return nil, err
+					return err
 				}
+				perTrial[trial] = st
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var ntt, p95 float64
+			for _, st := range perTrial {
 				ntt += st.MeanNTT / trials
 				p95 += st.P95LatencyMS / trials
 			}
@@ -144,23 +160,29 @@ func runSpill(s *Suite) ([]*Table, error) {
 		{"1 MB", 1 << 20},
 	}
 	spec := workload.Spec{Tasks: 16, BatchSizes: []int{16}}
-	policy, err := sched.ByName("PREMA", s.Sched)
-	if err != nil {
-		return nil, err
-	}
-	selector, err := sched.SelectorByName("dynamic")
-	if err != nil {
-		return nil, err
-	}
 	const runs = 8
 	var baseANTT float64
 	for pi, pool := range pools {
-		var antt, ckptUS float64
-		for r := 0; r < runs; r++ {
+		// Fan the runs out through the engine; each run owns its policy,
+		// selector and checkpoint-memory manager.
+		type spillRun struct {
+			antt   float64
+			ckptUS float64
+		}
+		perRun := make([]spillRun, runs)
+		err := s.ForEach(runs, func(r int) error {
+			policy, err := sched.ByName("PREMA", s.Sched)
+			if err != nil {
+				return err
+			}
+			selector, err := sched.SelectorByName("dynamic")
+			if err != nil {
+				return err
+			}
 			rng := workload.RNGFor(s.Seed^0x5B111, r)
 			tasks, err := s.Gen.Generate(spec, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			opt := sim.Options{
 				NPU: s.NPU, Sched: s.Sched,
@@ -171,28 +193,39 @@ func runSpill(s *Suite) ([]*Table, error) {
 				cfg.NPUMemBytes = pool.bytes
 				mem, err := ckptmem.New(cfg)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				opt.CkptMem = mem
 			}
 			simulator, err := sim.New(opt, workload.SchedTasks(tasks))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res, err := simulator.Run()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m, err := metrics.FromTasks(res.Tasks)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			antt += m.ANTT / runs
 			var ck int64
 			for _, task := range res.Tasks {
 				ck += task.CheckpointCycles
 			}
-			ckptUS += s.NPU.Micros(ck) / float64(len(res.Tasks)) / runs
+			perRun[r] = spillRun{
+				antt:   m.ANTT,
+				ckptUS: s.NPU.Micros(ck) / float64(len(res.Tasks)),
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var antt, ckptUS float64
+		for _, pr := range perRun {
+			antt += pr.antt / runs
+			ckptUS += pr.ckptUS / runs
 		}
 		if pi == 0 {
 			baseANTT = antt

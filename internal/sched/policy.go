@@ -36,6 +36,12 @@ type Decision struct {
 
 // Policy selects which task to run. Implementations are pure decision
 // logic over the context table; the simulator owns time and mechanisms.
+//
+// Policies may keep internal scratch buffers between Pick calls (the
+// token-based policies reuse their candidate-group buffer), so a Policy
+// instance must not be shared by concurrently running simulators.
+// Construct one instance per simulation run; exp's experiment engine
+// does exactly that.
 type Policy interface {
 	// Name is the evaluation label (e.g. "FCFS", "PREMA").
 	Name() string
@@ -164,9 +170,16 @@ func (SJF) Pick(ready []*Task, current *Task, now int64) Decision {
 
 // tokenFramework implements the shared token accounting of TOKEN and
 // PREMA (Algorithm 2): periodic priority- and slowdown-proportional token
-// grants, and threshold-based candidate-group selection.
+// grants, and threshold-based candidate-group selection. The scratch
+// buffer is reused across Pick calls so candidate-group selection is
+// allocation-free in steady state; it is what makes token-based policies
+// single-simulation instances (see the Policy contract).
 type tokenFramework struct {
 	cfg Config
+
+	// scratch backs the candidate group returned by Candidates; valid
+	// only until the next call.
+	scratch []*Task
 }
 
 // UpdateTokens applies Algorithm 2 line 7 to every waiting task: each
@@ -191,8 +204,10 @@ func UpdateTokens(tasks []*Task, now int64) {
 // Candidates returns the candidate group of Algorithm 2 line 9: the
 // threshold is the largest token balance in the ready queue rounded down
 // (never up) to the closest configured level, and every task at or above
-// it is a candidate. The group is never empty for a non-empty queue.
-func (f tokenFramework) Candidates(ready []*Task) []*Task {
+// it is a candidate. The group is never empty for a non-empty queue. The
+// returned slice aliases the framework's scratch buffer and is valid only
+// until the next call.
+func (f *tokenFramework) Candidates(ready []*Task) []*Task {
 	maxTok := math.Inf(-1)
 	for _, t := range ready {
 		if t.Token > maxTok {
@@ -200,12 +215,13 @@ func (f tokenFramework) Candidates(ready []*Task) []*Task {
 		}
 	}
 	threshold := f.roundDown(maxTok)
-	var cands []*Task
+	cands := f.scratch[:0]
 	for _, t := range ready {
 		if t.Token >= threshold {
 			cands = append(cands, t)
 		}
 	}
+	f.scratch = cands
 	if len(cands) == 0 {
 		// Defensive: float rounding should never exclude the max
 		// holder, but the scheduler must always make progress.
@@ -217,7 +233,7 @@ func (f tokenFramework) Candidates(ready []*Task) []*Task {
 // roundDown maps a token balance onto the closest configured level from
 // below; balances below the lowest level map to it so the candidate test
 // (token >= threshold) still admits the maximum holder.
-func (f tokenFramework) roundDown(tok float64) float64 {
+func (f *tokenFramework) roundDown(tok float64) float64 {
 	levels := f.cfg.TokenThresholdLevels
 	if len(levels) == 0 {
 		return tok

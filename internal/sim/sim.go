@@ -80,11 +80,16 @@ type Sim struct {
 	opt      Options
 	tasks    []*sched.Task
 	pending  []*sched.Task // not yet arrived, sorted by arrival
+	pendHead int           // index of the next pending arrival
 	ready    []*sched.Task
 	running  *sched.Task
 	runSince int64 // cycle the running task's current span began
 	now      int64
 	result   Result
+
+	// live is the scratch buffer allLive refills at every scheduler
+	// wake, so token accounting allocates nothing in steady state.
+	live []*sched.Task
 }
 
 // New validates the options and prepares a simulator over the given
@@ -140,10 +145,10 @@ func (s *Sim) Run() (*Result, error) {
 
 		if s.running == nil && len(s.ready) == 0 {
 			// Idle: jump to the next arrival.
-			if len(s.pending) == 0 {
+			if s.pendHead >= len(s.pending) {
 				return nil, fmt.Errorf("sim: %d tasks unfinished with empty queues", remaining)
 			}
-			s.now = s.pending[0].Arrival
+			s.now = s.pending[s.pendHead].Arrival
 			continue
 		}
 
@@ -159,30 +164,24 @@ func (s *Sim) Run() (*Result, error) {
 		if s.running == nil {
 			// Nothing schedulable (cannot happen with a sane
 			// policy, but guard against livelock).
-			if len(s.pending) == 0 {
+			if s.pendHead >= len(s.pending) {
 				return nil, fmt.Errorf("sim: policy %s scheduled nothing with %d ready",
 					s.opt.Policy.Name(), len(s.ready))
 			}
-			s.now = s.pending[0].Arrival
+			s.now = s.pending[s.pendHead].Arrival
 			continue
 		}
 
 		// Execute until the next scheduler event: quantum expiry,
 		// next arrival, or task completion.
 		horizon := s.now + quantum
-		if len(s.pending) > 0 && s.pending[0].Arrival < horizon {
-			horizon = s.pending[0].Arrival
+		if s.pendHead < len(s.pending) && s.pending[s.pendHead].Arrival < horizon {
+			horizon = s.pending[s.pendHead].Arrival
 		}
 		if horizon <= s.now {
 			horizon = s.now + 1
 		}
-		budget := horizon - s.now
-		used := s.advanceRunning(budget)
-		s.now += used
-		if used < budget && !s.running.Exec.Done() {
-			// Only overhead was consumed and the budget ran out
-			// exactly; loop continues.
-		}
+		s.now += s.advanceRunning(horizon - s.now)
 		if s.running.Exec.Done() {
 			s.endSpan()
 			s.running.MarkFinished(s.now)
@@ -196,22 +195,23 @@ func (s *Sim) Run() (*Result, error) {
 }
 
 // allLive returns every task currently tracked by the context table
-// (ready plus running).
+// (ready plus running). The returned slice is the simulator's scratch
+// buffer, valid only until the next call.
 func (s *Sim) allLive() []*sched.Task {
-	live := make([]*sched.Task, 0, len(s.ready)+1)
-	live = append(live, s.ready...)
+	s.live = s.live[:0]
+	s.live = append(s.live, s.ready...)
 	if s.running != nil {
-		live = append(live, s.running)
+		s.live = append(s.live, s.running)
 	}
-	return live
+	return s.live
 }
 
 // admitArrivals moves pending tasks whose dispatch time has come into the
-// ready queue.
+// ready queue, advancing the head index rather than re-slicing.
 func (s *Sim) admitArrivals() {
-	for len(s.pending) > 0 && s.pending[0].Arrival <= s.now {
-		t := s.pending[0]
-		s.pending = s.pending[1:]
+	for s.pendHead < len(s.pending) && s.pending[s.pendHead].Arrival <= s.now {
+		t := s.pending[s.pendHead]
+		s.pendHead++
 		t.State = sched.Waiting
 		s.ready = append(s.ready, t)
 	}
@@ -294,7 +294,13 @@ func (s *Sim) dispatch(t *sched.Task) {
 	if idx < 0 {
 		panic("sim: dispatch of task not in ready queue")
 	}
-	s.ready = append(s.ready[:idx], s.ready[idx+1:]...)
+	// Swap-removal: ready-queue order is irrelevant because every
+	// policy selects by a strict total order (ties broken by task ID),
+	// so an O(1) removal cannot change any decision.
+	last := len(s.ready) - 1
+	s.ready[idx] = s.ready[last]
+	s.ready[last] = nil
+	s.ready = s.ready[:last]
 	t.MarkRunning(s.now)
 	s.runSince = s.now
 	if t.SavedBytes > 0 {

@@ -11,6 +11,7 @@ package workload
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 	"time"
 
 	"repro/internal/compiler"
@@ -75,12 +76,21 @@ type Task struct {
 
 // Generator builds workloads against one NPU configuration, compiling
 // each sampled task instance and attaching predictor estimates.
+//
+// A Generator is safe for concurrent use: the compiled-program and
+// estimate caches are mutex-guarded, and everything else (compiler,
+// profile library, analytic predictor) is immutable after construction.
+// The experiment engine shares one Generator across its worker pool.
 type Generator struct {
 	cfg      npu.Config
 	comp     *compiler.Compiler
 	lib      *seqlen.Library
 	analytic *predictor.Analytic
 
+	// mu guards progCache and estCache. Compilation and estimation run
+	// outside the lock; a losing racer adopts the winner's entry so
+	// each key resolves to one canonical program.
+	mu sync.Mutex
 	// progCache memoizes compiled programs by (model, batch, inLen,
 	// outLen). Programs are immutable after compilation and every
 	// task gets its own Execution cursor, so sharing is safe and
@@ -122,28 +132,42 @@ func NewGenerator(cfg npu.Config, profileSeed uint64) (*Generator, error) {
 // compile returns the (cached) program for one concrete instance.
 func (g *Generator) compile(m *dnn.Model, batch, inLen, outLen int) (*npu.Program, error) {
 	k := progKey{model: m.Name, batch: batch, inLen: inLen, outLen: outLen}
-	if p, ok := g.progCache[k]; ok {
+	g.mu.Lock()
+	p, ok := g.progCache[k]
+	g.mu.Unlock()
+	if ok {
 		return p, nil
 	}
 	p, err := g.comp.Compile(m, batch, inLen, outLen)
 	if err != nil {
 		return nil, err
 	}
-	g.progCache[k] = p
+	g.mu.Lock()
+	if prev, ok := g.progCache[k]; ok {
+		p = prev // another worker compiled it first; keep one canonical program
+	} else {
+		g.progCache[k] = p
+	}
+	g.mu.Unlock()
 	return p, nil
 }
 
 // analyticEstimate returns the (cached) Algorithm 1 estimate.
 func (g *Generator) analyticEstimate(m *dnn.Model, batch, inLen int) (int64, error) {
 	k := progKey{model: m.Name, batch: batch, inLen: inLen}
-	if e, ok := g.estCache[k]; ok {
+	g.mu.Lock()
+	e, ok := g.estCache[k]
+	g.mu.Unlock()
+	if ok {
 		return e, nil
 	}
 	e, err := g.analytic.Estimate(m, batch, inLen)
 	if err != nil {
 		return 0, err
 	}
+	g.mu.Lock()
 	g.estCache[k] = e
+	g.mu.Unlock()
 	return e, nil
 }
 

@@ -9,6 +9,7 @@
 package prema
 
 import (
+	"flag"
 	"strconv"
 	"strings"
 	"testing"
@@ -23,6 +24,15 @@ import (
 	"repro/internal/workload"
 )
 
+// benchCache mirrors premabench's -cache flag, but defaults off: each
+// benchmark re-runs one experiment b.N times over a single suite, so a
+// warm cache would answer every iteration after the first from memory
+// and ns/op would stop tracking simulator cost — the regression these
+// benchmarks exist to catch. Pass -cache to measure the amortized
+// cached path instead. Results are bit-identical either way.
+var benchCache = flag.Bool("cache", false,
+	"enable the cross-experiment simulation-result cache in benchmark suites")
+
 // benchSuite builds an experiment suite sized for benchmarking: fewer
 // runs per configuration than the paper's 25 so a full -bench=. sweep
 // stays in the minutes range while preserving every qualitative outcome.
@@ -33,7 +43,24 @@ func benchSuite(b *testing.B) *exp.Suite {
 		b.Fatal(err)
 	}
 	s.Runs = 8
+	if !*benchCache {
+		s.Cache = nil
+	}
 	return s
+}
+
+// TestBenchCacheFlagThreads proves the -cache flag reaches the suite.
+func TestBenchCacheFlagThreads(t *testing.T) {
+	s, err := exp.NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cache == nil {
+		t.Error("NewSuite should default-enable the run cache")
+	}
+	if *benchCache {
+		t.Error("benchmarks must default to cache-off so ns/op tracks simulator cost")
+	}
 }
 
 // cell parses a numeric table cell such as "7.81x", "36.0", "12.3%".

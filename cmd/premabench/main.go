@@ -10,10 +10,16 @@
 //	premabench -runs 10           # override the per-config run count
 //	premabench -csv results/      # additionally write CSV files
 //	premabench -parallel 1        # force sequential execution
+//	premabench -cache=false       # disable the cross-experiment cache
+//	premabench -cachestats        # report cache hits/misses per experiment
 //
 // Experiments execute through the concurrent engine in internal/exp;
 // -parallel bounds its worker pool (default: GOMAXPROCS). Output is
-// byte-identical for every worker count.
+// byte-identical for every worker count. Overlapping sweeps (the NP-FCFS
+// baseline, the Static-*/Dynamic-* configurations shared between fig12
+// and fig15, ...) resolve through a keyed simulation-result cache shared
+// across all selected experiments; cached and fresh results are
+// bit-identical, so -cache only changes runtime, never output.
 package main
 
 import (
@@ -36,6 +42,10 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory to write per-table CSV files")
 		parallel = flag.Int("parallel", 0,
 			"simulation worker-pool size (0 = GOMAXPROCS, 1 = sequential; results identical)")
+		cache = flag.Bool("cache", true,
+			"share simulation results across overlapping experiments (results identical)")
+		cacheStats = flag.Bool("cachestats", false,
+			"report cache hits/misses per experiment")
 	)
 	flag.Parse()
 
@@ -59,6 +69,9 @@ func main() {
 	if *parallel > 0 {
 		suite.Workers = *parallel
 	}
+	if !*cache {
+		suite.Cache = nil
+	}
 
 	var selected []exp.Experiment
 	if *expFlag == "" {
@@ -81,6 +94,10 @@ func main() {
 
 	for _, e := range selected {
 		start := time.Now()
+		var before exp.CacheStats
+		if suite.Cache != nil {
+			before = suite.Cache.Stats()
+		}
 		tables, err := e.Run(suite)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
@@ -93,6 +110,11 @@ func main() {
 					fatal(err)
 				}
 			}
+		}
+		if *cacheStats && suite.Cache != nil {
+			after := suite.Cache.Stats()
+			fmt.Printf("[%s cache: %d hits, %d misses; %d entries total]\n",
+				e.ID, after.Hits-before.Hits, after.Misses-before.Misses, after.Entries)
 		}
 		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}

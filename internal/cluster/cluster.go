@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/npu"
+	"repro/internal/preempt"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -241,15 +242,16 @@ func Run(opt Options, tasks []*workload.Task) (*Result, error) {
 		}
 		wg.Wait()
 	} else {
+		// Mirror the parallel path's run-all-then-report semantics so
+		// which error surfaces does not depend on Parallel.
 		for i := range buckets {
 			if len(buckets[i]) == 0 {
 				continue
 			}
-			if results[i], errs[i] = runBucket(i); errs[i] != nil {
-				break
-			}
+			results[i], errs[i] = runBucket(i)
 		}
 	}
+	// Report the lowest-indexed failure regardless of execution order.
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -270,7 +272,7 @@ func Run(opt Options, tasks []*workload.Task) (*Result, error) {
 		}
 		out.PerNPU[i] = stats
 		for _, ev := range res.Preemptions {
-			if ev.Cost.Mechanism.String() != "DRAIN" {
+			if ev.Cost.Mechanism != preempt.Drain {
 				out.Preemptions++
 			}
 		}

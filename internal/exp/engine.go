@@ -18,10 +18,12 @@ package exp
 //     sequentially in (configuration, run) order afterwards — float
 //     accumulation order, pooled task order, and pooled preemption order
 //     all match the sequential loop exactly.
-//  3. Shared read-mostly state. The only state shared across workers is
-//     the Suite's workload.Generator, whose caches are mutex-guarded and
-//     whose cache hits/misses cannot influence results (programs are
-//     deterministic functions of their key).
+//  3. Shared read-mostly state. The state shared across workers is the
+//     Suite's workload.Generator and its optional RunCache; both are
+//     mutex-guarded, and cache hits/misses cannot influence results
+//     (programs and run outcomes are deterministic functions of their
+//     keys, and cached outcomes are immutable by contract — see
+//     cache.go).
 //
 // First-error policy: once any run fails, runs not yet started are
 // skipped and the lowest-indexed error among those that did run is
@@ -114,9 +116,32 @@ type runOutcome struct {
 	preemptions []sim.PreemptionEvent
 }
 
-// runOne executes the run-th simulation of cfg: fresh policy and selector
-// instances, the deterministic per-run workload, one simulator.
+// runOne resolves the run-th simulation of cfg: a cache hit returns the
+// memoized outcome (immutable by contract; see cache.go), a miss — or a
+// non-cacheable run — simulates via simulateOne and populates the cache.
+// Cached and simulated outcomes are bit-identical, so the engine's
+// determinism contract is unaffected by the cache state.
 func (s *Suite) runOne(cfg SchedulerConfig, scfg sched.Config, spec workload.Spec, run int) (runOutcome, error) {
+	key, cacheable := s.cacheKey(cfg, scfg, spec, run)
+	if cacheable {
+		if o, ok := s.Cache.lookup(key); ok {
+			return o, nil
+		}
+	}
+	o, err := s.simulateOne(cfg, scfg, spec, run)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	if cacheable {
+		s.Cache.store(key, o)
+	}
+	return o, nil
+}
+
+// simulateOne executes the run-th simulation of cfg: fresh policy and
+// selector instances, the deterministic per-run workload, one simulator.
+func (s *Suite) simulateOne(cfg SchedulerConfig, scfg sched.Config, spec workload.Spec, run int) (runOutcome, error) {
+	atomic.AddInt64(&s.simulations, 1)
 	policy, err := sched.ByName(cfg.Policy, scfg)
 	if err != nil {
 		return runOutcome{}, err

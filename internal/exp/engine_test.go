@@ -69,6 +69,32 @@ func TestEngineParallelMatchesSequential(t *testing.T) {
 			}
 		}
 	}
+
+	// The cache extends the contract: a cache-disabled execution and a
+	// fully cached re-execution must both be bit-identical to the
+	// baseline (the suites above run with the default-enabled cache).
+	nocache := newSuite(0)
+	nocache.Cache = nil
+	nocacheResults, err := nocache.RunConfigs(cfgs, spec, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := seq.RunConfigs(cfgs, spec, runs) // answered from seq's cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := seq.Cache.Stats(); stats.Hits != int64(len(cfgs)*runs) {
+		t.Errorf("repeat execution hit the cache %d times, want %d", stats.Hits, len(cfgs)*runs)
+	}
+	for i := range cfgs {
+		want := fingerprint(seqResults[i])
+		if got := fingerprint(nocacheResults[i]); got != want {
+			t.Errorf("%s: cache-disabled result diverges from cached baseline", cfgs[i].Label)
+		}
+		if got := fingerprint(hot[i]); got != want {
+			t.Errorf("%s: cache-hit result diverges from its own first execution", cfgs[i].Label)
+		}
+	}
 }
 
 // TestEngineFirstError verifies the first-error policy: an invalid

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/npu"
@@ -55,15 +56,23 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Width accounting and
+// the separator both span the widest row, so a data row with more cells
+// than Headers still renders aligned.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Headers))
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -75,12 +84,12 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
 		}
 		b.WriteByte('\n')
 	}
 	line(t.Headers)
-	sep := make([]string, len(t.Headers))
+	sep := make([]string, cols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
@@ -119,13 +128,6 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Suite is the shared experiment context: one NPU configuration, one
 // workload generator (with its compiled-program cache and seq-length
 // profiles), and the run-count/seed the evaluation uses.
@@ -142,6 +144,22 @@ type Suite struct {
 	// GOMAXPROCS, 1 forces sequential execution. Results are identical
 	// for every value (see the package comment).
 	Workers int
+	// Cache memoizes engine run outcomes across experiments (see
+	// cache.go); nil disables caching. Cached and freshly simulated
+	// results are bit-identical, so enabling the cache never changes
+	// any table.
+	Cache *RunCache
+
+	// simulations counts simulateOne executions (cache misses plus
+	// non-cacheable runs); read via Simulations.
+	simulations int64
+}
+
+// Simulations reports how many simulations the Suite has actually
+// executed, excluding cache hits — the instrumentation the cache tests
+// and throughput accounting build on.
+func (s *Suite) Simulations() int64 {
+	return atomic.LoadInt64(&s.simulations)
 }
 
 // NewSuite builds the default experiment suite.
@@ -157,6 +175,7 @@ func NewSuite() (*Suite, error) {
 		Gen:   gen,
 		Runs:  25,
 		Seed:  0xBEEF,
+		Cache: NewRunCache(),
 	}, nil
 }
 

@@ -35,8 +35,27 @@ func init() {
 	})
 }
 
+// clusterLocal is one NPU-local scheduler configuration of the cluster
+// sweep.
+type clusterLocal struct {
+	label      string
+	policy     string
+	preemptive bool
+}
+
+// clusterCell is one (node size x routing policy x local scheduler) cell
+// of the cluster sweep.
+type clusterCell struct {
+	npus    int
+	routing cluster.RoutingPolicy
+	local   clusterLocal
+}
+
 // runCluster sweeps NPU counts, routing policies, and local schedulers
-// over a fixed 32-task offered load.
+// over a fixed 32-task offered load. The whole (cell x run) cross product
+// is flattened into one engine job list — there is no sequential outer
+// loop over node sizes or routers — and reduced per cell in run order
+// afterwards, so output stays byte-identical to a sequential sweep.
 func runCluster(s *Suite) ([]*Table, error) {
 	const (
 		tasks = 32
@@ -49,58 +68,66 @@ func runCluster(s *Suite) ([]*Table, error) {
 			"SLA viol.@4x", "preemptions/run"},
 		Note: "beyond-paper extension: the Algorithm 1 predictor also powers work-balanced routing",
 	}
-	locals := []struct {
-		label      string
-		policy     string
-		preemptive bool
-	}{
+	locals := []clusterLocal{
 		{"NP-FCFS", "FCFS", false},
 		{"Dynamic-PREMA", "PREMA", true},
 	}
+	var cells []clusterCell
 	for _, npus := range []int{1, 2, 4} {
 		for _, routing := range []cluster.RoutingPolicy{cluster.RoundRobin, cluster.LeastQueued, cluster.LeastWork} {
 			if npus == 1 && routing != cluster.RoundRobin {
 				continue // routing is moot on a single NPU
 			}
 			for _, local := range locals {
-				// Fan the node-level runs out through the engine and
-				// reduce in run order afterwards.
-				perRun := make([]*cluster.Result, runs)
-				err := s.ForEach(runs, func(r int) error {
-					rng := workload.RNGFor(s.Seed^0xC105, r)
-					ts, err := s.Gen.Generate(workload.Spec{Tasks: tasks}, rng)
-					if err != nil {
-						return err
-					}
-					res, err := cluster.Run(cluster.Options{
-						NPUs: npus, Routing: routing,
-						NPU: s.NPU, Sched: s.Sched,
-						LocalPolicy: local.policy, Preemptive: local.preemptive,
-						Selector: "dynamic",
-					}, ts)
-					if err != nil {
-						return err
-					}
-					perRun[r] = res
-					return nil
-				})
-				if err != nil {
-					return nil, err
-				}
-				var antt, stp, sla, preempts float64
-				for _, res := range perRun {
-					antt += res.Metrics.ANTT / runs
-					stp += res.Metrics.STP / runs
-					sla += metrics.SLAViolationRate(res.Tasks, 4) / runs
-					preempts += float64(res.Preemptions) / runs
-				}
-				t.AddRow(fmt.Sprintf("%d", npus), routing.String(), local.label,
-					fmt.Sprintf("%.2f", antt),
-					fmt.Sprintf("%.2f", stp),
-					fmt.Sprintf("%.1f%%", sla*100),
-					fmt.Sprintf("%.1f", preempts))
+				cells = append(cells, clusterCell{npus: npus, routing: routing, local: local})
 			}
 		}
+	}
+
+	// One flattened job list: every node-level simulation of every cell
+	// is visible to the worker pool at once. The r-th run of every cell
+	// regenerates the identical workload (same RNG stream), so cells are
+	// compared on the same task mixes; each cluster.Run stays sequential
+	// internally (Parallel unset) because the engine already saturates
+	// the pool across cells.
+	results := make([]*cluster.Result, len(cells)*runs)
+	err := s.ForEach(len(results), func(i int) error {
+		cell, r := cells[i/runs], i%runs
+		rng := workload.RNGFor(s.Seed^0xC105, r)
+		ts, err := s.Gen.Generate(workload.Spec{Tasks: tasks}, rng)
+		if err != nil {
+			return err
+		}
+		res, err := cluster.Run(cluster.Options{
+			NPUs: cell.npus, Routing: cell.routing,
+			NPU: s.NPU, Sched: s.Sched,
+			LocalPolicy: cell.local.policy, Preemptive: cell.local.preemptive,
+			Selector: "dynamic",
+		}, ts)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for ci, cell := range cells {
+		var antt, stp, sla, preempts float64
+		for r := 0; r < runs; r++ {
+			res := results[ci*runs+r]
+			antt += res.Metrics.ANTT / runs
+			stp += res.Metrics.STP / runs
+			sla += metrics.SLAViolationRate(res.Tasks, 4) / runs
+			preempts += float64(res.Preemptions) / runs
+		}
+		t.AddRow(fmt.Sprintf("%d", cell.npus), cell.routing.String(), cell.local.label,
+			fmt.Sprintf("%.2f", antt),
+			fmt.Sprintf("%.2f", stp),
+			fmt.Sprintf("%.1f%%", sla*100),
+			fmt.Sprintf("%.1f", preempts))
 	}
 	return []*Table{t}, nil
 }

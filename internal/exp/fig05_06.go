@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/dnn"
 	"repro/internal/metrics"
-	"repro/internal/preempt"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -102,21 +101,17 @@ func runMechTrial(s *Suite, victim, preemptor *dnn.Model, victimBatch, preBatch 
 
 	var out mechPair
 	// The preemptor is task ID 1 in both runs.
-	var basePre, mechPre, mechVic *sched.Task
+	var basePre, mechPre *sched.Task
 	for _, t := range baseRes.Tasks {
 		if t.ID == 1 {
 			basePre = t
 		}
 	}
 	for _, t := range mechRes.Tasks {
-		switch t.ID {
-		case 1:
+		if t.ID == 1 {
 			mechPre = t
-		case 0:
-			mechVic = t
 		}
 	}
-	_ = mechVic
 	if basePre == nil || mechPre == nil {
 		return mechPair{}, fmt.Errorf("exp: preemptor task missing from results")
 	}
@@ -347,5 +342,3 @@ func runFig6(s *Suite) ([]*Table, error) {
 	ntt.Rows = append(ntt.Rows, nttAvg)
 	return []*Table{stp, ntt}, nil
 }
-
-var _ = preempt.Checkpoint

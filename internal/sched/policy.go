@@ -92,8 +92,11 @@ func (FCFS) Pick(ready []*Task, current *Task, now int64) Decision {
 }
 
 // RRB schedules round-robin among the co-located tasks: at each decision
-// it picks the ready task least-recently scheduled (by last run start),
-// cycling through the task mix.
+// it picks the ready task least-recently scheduled (by the start of its
+// most recent execution span), cycling through the task mix. Ordering by
+// Task.Start would be wrong under preemption: Start is pinned to the
+// first dispatch, so a preempted-and-resumed task would keep its original
+// position and the rotation would degenerate to first-scheduled-first.
 type RRB struct{}
 
 // Name implements Policy.
@@ -105,9 +108,9 @@ func (RRB) UsesPredictor() bool { return false }
 // Pick implements Policy.
 func (RRB) Pick(ready []*Task, current *Task, now int64) Decision {
 	cand := pickBy(ready, func(a, b *Task) bool {
-		// Never-run tasks (Start < 0) sort before previously-run
-		// ones; among equals, FCFS order.
-		as, bs := a.Start, b.Start
+		// Never-scheduled tasks (LastScheduled < 0) sort before
+		// previously-run ones; among equals, FCFS order.
+		as, bs := a.LastScheduled, b.LastScheduled
 		if as != bs {
 			return as < bs
 		}

@@ -227,10 +227,45 @@ func TestRRBPrefersLeastRecentlyRun(t *testing.T) {
 	p := RRB{}
 	a := makeTask(1, Low, 0, 1000)
 	b := makeTask(2, Low, 5, 1000)
-	a.Start = 500 // a ran before
+	a.MarkRunning(500) // a ran before
+	a.MarkWaiting(600)
 	dec := p.Pick([]*Task{a, b}, nil, 1000)
 	if dec.Candidate != b {
 		t.Error("RRB must rotate to the never-run task")
+	}
+}
+
+// TestRRBRotatesAfterResumption is the regression test for the
+// least-recently-scheduled ordering: Start is pinned to the first
+// dispatch, so ordering by it makes a preempted-and-resumed task keep its
+// original rotation slot (first-scheduled-first, not round-robin). RRB
+// must order by LastScheduled, which moves on every dispatch.
+func TestRRBRotatesAfterResumption(t *testing.T) {
+	p := RRB{}
+	a := makeTask(1, Low, 0, 10000)
+	b := makeTask(2, Low, 0, 10000)
+	// a is scheduled first, preempted, then resumed AFTER b's first
+	// span: a.Start (100) < b.Start (500), yet a is the most recently
+	// scheduled (900).
+	a.MarkRunning(100)
+	a.MarkWaiting(400) // preempted
+	b.MarkRunning(500)
+	b.MarkWaiting(600) // preempted
+	a.MarkRunning(900) // resumed
+	a.MarkWaiting(950) // preempted again
+	if a.Start != 100 || a.LastScheduled != 900 {
+		t.Fatalf("a Start/LastScheduled = %d/%d, want 100/900", a.Start, a.LastScheduled)
+	}
+	dec := p.Pick([]*Task{a, b}, nil, 1000)
+	if dec.Candidate != b {
+		t.Error("RRB must pick the least-recently *scheduled* task (b), not the first-started")
+	}
+	// And once b runs again, the rotation comes back to a.
+	b.MarkRunning(1000)
+	b.MarkWaiting(1100)
+	dec = p.Pick([]*Task{a, b}, nil, 1200)
+	if dec.Candidate != a {
+		t.Error("RRB rotation must return to a after b's resumption")
 	}
 }
 

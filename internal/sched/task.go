@@ -110,6 +110,11 @@ type Task struct {
 
 	// Start is the cycle the task first began executing (-1 before).
 	Start int64
+	// LastScheduled is the cycle the task most recently began an
+	// execution span (-1 before the first dispatch). Unlike Start it is
+	// updated on every dispatch, including resumption after a
+	// preemption, which is what round-robin recency must order by.
+	LastScheduled int64
 	// Completion is the cycle the task finished (-1 before).
 	Completion int64
 
@@ -144,6 +149,7 @@ func NewTask(id int, model string, batch int, prio Priority, arrival int64, exec
 		State:           Waiting,
 		lastWake:        arrival,
 		Start:           -1,
+		LastScheduled:   -1,
 		Completion:      -1,
 	}
 }
@@ -182,13 +188,15 @@ func (t *Task) NormalizedSlowdown(waitDelta int64) float64 {
 	return float64(waitDelta) / float64(t.EstimatedCycles)
 }
 
-// MarkRunning transitions the task onto the NPU at cycle now.
+// MarkRunning transitions the task onto the NPU at cycle now. Start is
+// recorded only on the first dispatch; LastScheduled on every dispatch.
 func (t *Task) MarkRunning(now int64) {
 	t.AccrueWait(now)
 	t.State = Running
 	if t.Start < 0 {
 		t.Start = now
 	}
+	t.LastScheduled = now
 }
 
 // MarkWaiting returns the task to the ready queue at cycle now (after a

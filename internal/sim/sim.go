@@ -158,7 +158,9 @@ func (s *Sim) Run() (*Result, error) {
 		sched.UpdateTokens(s.allLive(), s.now)
 		if len(s.ready) > 0 {
 			dec := s.opt.Policy.Pick(s.ready, s.running, s.now)
-			s.apply(dec)
+			if err := s.apply(dec); err != nil {
+				return nil, err
+			}
 		}
 
 		if s.running == nil {
@@ -218,17 +220,18 @@ func (s *Sim) admitArrivals() {
 }
 
 // apply enacts a policy decision: dispatch onto an idle NPU, or service a
-// recommended preemption through the mechanism selector.
-func (s *Sim) apply(dec sched.Decision) {
+// recommended preemption through the mechanism selector. A checkpoint-
+// memory accounting failure (e.g. a duplicate save) is a simulation
+// error: swallowing it would silently skew the reported overheads.
+func (s *Sim) apply(dec sched.Decision) error {
 	if dec.Candidate == nil {
-		return
+		return nil
 	}
 	if s.running == nil {
-		s.dispatch(dec.Candidate)
-		return
+		return s.dispatch(dec.Candidate)
 	}
 	if !s.opt.Preemptive || !dec.Preempt || dec.Candidate == s.running {
-		return
+		return nil
 	}
 	mech := s.opt.Selector.Select(s.running, dec.Candidate)
 	if mech == preempt.Drain {
@@ -242,7 +245,7 @@ func (s *Sim) apply(dec sched.Decision) {
 			Preempting: dec.Candidate.ID,
 			Cost:       preempt.Cost{Mechanism: preempt.Drain},
 		})
-		return
+		return nil
 	}
 
 	victim := s.running
@@ -256,14 +259,18 @@ func (s *Sim) apply(dec sched.Decision) {
 	victim.WastedCycles += cost.WastedCycles
 	if mech == preempt.Checkpoint {
 		victim.SavedBytes = cost.SavedBytes
-		if s.opt.CkptMem != nil {
+		// Register only non-empty contexts, mirroring the restore
+		// condition in dispatch so every save is paired with exactly
+		// one restore.
+		if s.opt.CkptMem != nil && cost.SavedBytes > 0 {
 			// Finite checkpoint storage: oversubscription migrates
 			// contexts over the host link and extends the busy time.
 			extra, err := s.opt.CkptMem.Save(victim.ID, cost.SavedBytes, s.now)
-			if err == nil {
-				s.now += extra
-				victim.CheckpointCycles += extra
+			if err != nil {
+				return fmt.Errorf("sim: checkpoint save for task %d: %w", victim.ID, err)
 			}
+			s.now += extra
+			victim.CheckpointCycles += extra
 		}
 	} else {
 		victim.SavedBytes = 0
@@ -278,12 +285,14 @@ func (s *Sim) apply(dec sched.Decision) {
 		Preempting: dec.Candidate.ID,
 		Cost:       cost,
 	})
-	s.dispatch(dec.Candidate)
+	return s.dispatch(dec.Candidate)
 }
 
 // dispatch moves a ready task onto the NPU, charging any pending context
-// restore as overhead before its first instruction.
-func (s *Sim) dispatch(t *sched.Task) {
+// restore as overhead before its first instruction. A checkpoint-memory
+// accounting failure (a restore without a matching save) is a simulation
+// error.
+func (s *Sim) dispatch(t *sched.Task) error {
 	idx := -1
 	for i, r := range s.ready {
 		if r == t {
@@ -306,15 +315,18 @@ func (s *Sim) dispatch(t *sched.Task) {
 	if t.SavedBytes > 0 {
 		restore := preempt.RestoreCycles(s.opt.NPU, t.SavedBytes)
 		if s.opt.CkptMem != nil {
-			if extra, err := s.opt.CkptMem.Restore(t.ID); err == nil {
-				restore += extra
+			extra, err := s.opt.CkptMem.Restore(t.ID)
+			if err != nil {
+				return fmt.Errorf("sim: checkpoint restore for task %d: %w", t.ID, err)
 			}
+			restore += extra
 		}
 		t.PendingOverhead += restore
 		t.CheckpointCycles += restore
 		t.SavedBytes = 0
 	}
 	s.running = t
+	return nil
 }
 
 // endSpan closes the running task's current occupancy span at the

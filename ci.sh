@@ -1,6 +1,8 @@
 #!/bin/sh
 # ci.sh — tier-1 verification in one command: formatting, vet, build,
-# and the full test suite. Exits non-zero on the first failure.
+# the full test suite, and a smoke-run of every example and CLI so
+# facade regressions that only break consumers fail here too. Exits
+# non-zero on the first failure.
 set -eu
 cd "$(dirname "$0")"
 
@@ -14,3 +16,24 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+
+# The examples are the public-API consumers: every one must build and
+# run to completion against the current facade.
+for ex in examples/*/; do
+	echo "smoke: $ex"
+	go run "./$ex" >/dev/null
+done
+
+# CLI smoke: one cheap invocation per command, exercising the typed
+# flag-parsing paths.
+echo "smoke: cmd/premasim"
+go run ./cmd/premasim -policy PREMA -preemptive -tasks 4 -timeline=false >/dev/null
+go run ./cmd/premasim -npus 2 -routing least-work -policy FCFS -tasks 6 >/dev/null
+echo "smoke: cmd/premazoo"
+go run ./cmd/premazoo -config >/dev/null
+echo "smoke: cmd/premapredict"
+go run ./cmd/premapredict -model CNN-AN >/dev/null
+echo "smoke: cmd/premabench"
+go run ./cmd/premabench -exp fig7 -runs 2 >/dev/null
+
+echo "ci.sh: all green"

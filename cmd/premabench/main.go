@@ -12,14 +12,16 @@
 //	premabench -parallel 1        # force sequential execution
 //	premabench -cache=false       # disable the cross-experiment cache
 //	premabench -cachestats        # report cache hits/misses per experiment
+//	premabench -cachedir ~/.cache # persist results across invocations
 //
-// Experiments execute through the concurrent engine in internal/exp;
-// -parallel bounds its worker pool (default: GOMAXPROCS). Output is
-// byte-identical for every worker count. Overlapping sweeps (the NP-FCFS
-// baseline, the Static-*/Dynamic-* configurations shared between fig12
-// and fig15, ...) resolve through a keyed simulation-result cache shared
-// across all selected experiments; cached and fresh results are
-// bit-identical, so -cache only changes runtime, never output.
+// Experiments execute through prema.Suite's concurrent engine; -parallel
+// bounds its worker pool (default: GOMAXPROCS). Output is byte-identical
+// for every worker count. Overlapping sweeps (the NP-FCFS baseline, the
+// Static-*/Dynamic-* configurations shared between fig12 and fig15, ...)
+// resolve through a keyed simulation-result cache shared across all
+// selected experiments; cached and fresh results are bit-identical, so
+// -cache only changes runtime, never output. -cachedir persists the
+// cache on disk, so a repeated invocation skips warm work too.
 package main
 
 import (
@@ -30,7 +32,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/exp"
+	prema "repro"
 )
 
 func main() {
@@ -46,44 +48,47 @@ func main() {
 			"share simulation results across overlapping experiments (results identical)")
 		cacheStats = flag.Bool("cachestats", false,
 			"report cache hits/misses per experiment")
+		cacheDir = flag.String("cachedir", "",
+			"persist cached simulation results in this directory across invocations")
 	)
 	flag.Parse()
 
+	suite, err := prema.NewSuite(prema.SuiteOptions{
+		Runs:     *runs,
+		Seed:     *seed,
+		Parallel: *parallel,
+		NoCache:  !*cache && *cacheDir == "",
+		CacheDir: *cacheDir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
 	if *list {
-		for _, e := range exp.All() {
+		for _, e := range suite.Experiments() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 
-	suite, err := exp.NewSuite()
-	if err != nil {
-		fatal(err)
+	known := map[string]bool{}
+	var all []string
+	for _, e := range suite.Experiments() {
+		known[e.ID] = true
+		all = append(all, e.ID)
 	}
-	if *runs > 0 {
-		suite.Runs = *runs
-	}
-	if *seed != 0 {
-		suite.Seed = *seed
-	}
-	if *parallel > 0 {
-		suite.Workers = *parallel
-	}
-	if !*cache {
-		suite.Cache = nil
-	}
-
-	var selected []exp.Experiment
-	if *expFlag == "" {
-		selected = exp.All()
-	} else {
+	var selected []string
+	if *expFlag != "" {
+		// Surface typos before any experiment runs.
 		for _, id := range strings.Split(*expFlag, ",") {
-			e, err := exp.ByID(strings.TrimSpace(id))
-			if err != nil {
-				fatal(err)
+			id = strings.TrimSpace(id)
+			if !known[id] {
+				fatal(fmt.Errorf("unknown experiment %q (known: %v)", id, all))
 			}
-			selected = append(selected, e)
+			selected = append(selected, id)
 		}
+	} else {
+		selected = all
 	}
 
 	if *csvDir != "" {
@@ -92,31 +97,41 @@ func main() {
 		}
 	}
 
-	for _, e := range selected {
+	// On any mid-run failure, keep the warm results of the experiments
+	// that did complete: flush the disk cache before bailing.
+	fail := func(err error) {
+		_ = suite.Close()
+		fatal(err)
+	}
+	for _, id := range selected {
 		start := time.Now()
-		var before exp.CacheStats
-		if suite.Cache != nil {
-			before = suite.Cache.Stats()
-		}
-		tables, err := e.Run(suite)
+		before := suite.CacheStats()
+		results, err := suite.Run(id)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			fail(err)
 		}
-		for _, t := range tables {
-			fmt.Println(t.String())
-			if *csvDir != "" {
-				path := filepath.Join(*csvDir, t.ID+".csv")
-				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-					fatal(err)
+		for _, res := range results {
+			for _, t := range res.Tables {
+				fmt.Println(t.Text)
+				if *csvDir != "" {
+					path := filepath.Join(*csvDir, t.ID+".csv")
+					if err := os.WriteFile(path, []byte(t.CSV), 0o644); err != nil {
+						fail(err)
+					}
 				}
 			}
 		}
-		if *cacheStats && suite.Cache != nil {
-			after := suite.Cache.Stats()
+		if *cacheStats && suite.Cached() {
+			after := suite.CacheStats()
 			fmt.Printf("[%s cache: %d hits, %d misses; %d entries total]\n",
-				e.ID, after.Hits-before.Hits, after.Misses-before.Misses, after.Entries)
+				id, after.Hits-before.Hits, after.Misses-before.Misses, after.Entries)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Write the warm cache back for the next invocation.
+	if err := suite.Close(); err != nil {
+		fatal(err)
 	}
 }
 

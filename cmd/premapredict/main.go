@@ -5,7 +5,7 @@
 // Usage:
 //
 //	premapredict -model CNN-VN -batch 4
-//	premapredict -model RNN-MT2 -batch 1 -inlen 30 -samples 20
+//	premapredict -model RNN-MT2 -batch 1 -samples 20
 //	premapredict -all
 package main
 
@@ -15,10 +15,7 @@ import (
 	"math"
 	"os"
 
-	"repro/internal/dnn"
-	"repro/internal/npu"
-	"repro/internal/sched"
-	"repro/internal/workload"
+	prema "repro"
 )
 
 func main() {
@@ -30,21 +27,27 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := npu.DefaultConfig()
-	gen, err := workload.NewGenerator(cfg, 0xA11CE)
+	sys, err := prema.NewSystem()
 	if err != nil {
 		fatal(err)
 	}
+	cfg := sys.NPU()
 
-	var models []*dnn.Model
+	var models []*prema.Model
 	if *all || *modelName == "" {
-		models = dnn.Suite()
+		for _, name := range prema.SuiteModels() {
+			m, err := sys.Model(name)
+			if err != nil {
+				fatal(err)
+			}
+			models = append(models, m)
+		}
 	} else {
-		m, err := dnn.ByName(*modelName)
+		m, err := sys.Model(*modelName)
 		if err != nil {
 			fatal(err)
 		}
-		models = []*dnn.Model{m}
+		models = []*prema.Model{m}
 	}
 
 	fmt.Printf("%-10s %-5s %-9s %-12s %-12s %-8s\n",
@@ -52,11 +55,11 @@ func main() {
 	for _, m := range models {
 		var errSum float64
 		for i := 0; i < *samples; i++ {
-			rng := workload.RNGFor(0x9ced, i)
-			task, err := gen.Instance(0, m, *batch, sched.Medium, 0, nil, rng)
+			insts, err := sys.Instances(i, prema.TaskSpec{Model: m.Name, Batch: *batch})
 			if err != nil {
 				fatal(err)
 			}
+			task := insts[0]
 			pred := cfg.Millis(task.EstimatedCycles)
 			act := cfg.Millis(task.IsolatedCycles)
 			e := math.Abs(pred-act) / act

@@ -6,30 +6,26 @@
 //
 //	premasim -policy PREMA -preemptive -mechanism dynamic -tasks 8 -seed 3
 //	premasim -policy FCFS -tasks 8
+//	premasim -npus 4 -routing least-work -policy PREMA -preemptive
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"strings"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/dnn"
-	"repro/internal/metrics"
-	"repro/internal/npu"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	prema "repro"
 )
 
 func main() {
 	var (
-		policyName = flag.String("policy", "PREMA", "scheduling policy: FCFS|RRB|HPF|TOKEN|SJF|PREMA")
+		policyFlag = flag.String("policy", "PREMA",
+			"scheduling policy: "+strings.Join(prema.Policies(), "|"))
 		preemptive = flag.Bool("preemptive", false, "enable the preemptible-NPU path")
-		mechanism  = flag.String("mechanism", "dynamic",
-			"preemption mechanism selector: static-checkpoint|static-kill|static-drain|dynamic|dynamic-kill")
+		mechFlag   = flag.String("mechanism", "dynamic",
+			"preemption mechanism selector: "+strings.Join(prema.Mechanisms(), "|"))
 		nTasks   = flag.Int("tasks", 8, "number of co-scheduled inference tasks")
 		seed     = flag.Int("seed", 1, "workload seed (run index)")
 		windowMS = flag.Int("window", 20, "arrival window in milliseconds")
@@ -45,15 +41,33 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := npu.DefaultConfig()
-	scfg := sched.DefaultConfig()
-	scfg.Quantum = *quantum
-
-	gen, err := workload.NewGenerator(cfg, 0xA11CE)
+	sys, err := prema.NewSystem(prema.WithQuantum(*quantum))
 	if err != nil {
 		fatal(err)
 	}
-	spec := workload.Spec{
+	cfg := sys.NPU()
+
+	policy, err := prema.ParsePolicy(*policyFlag)
+	if err != nil {
+		fatal(err)
+	}
+	// Forward -mechanism whenever the user set it explicitly, so a
+	// mechanism without -preemptive is rejected by Validate instead of
+	// being silently ignored (the flag's default only applies to
+	// preemptive runs).
+	mechSet := false
+	flag.Visit(func(f *flag.Flag) { mechSet = mechSet || f.Name == "mechanism" })
+	sched := prema.Scheduler{Policy: policy, Preemptive: *preemptive}
+	if *preemptive || mechSet {
+		if sched.Mechanism, err = prema.ParseMechanism(*mechFlag); err != nil {
+			fatal(err)
+		}
+	}
+	if err := sched.Validate(); err != nil {
+		fatal(err)
+	}
+
+	spec := prema.WorkloadSpec{
 		Tasks:         *nTasks,
 		ArrivalWindow: time.Duration(*windowMS) * time.Millisecond,
 	}
@@ -61,47 +75,36 @@ func main() {
 		spec.BatchSizes = []int{*batch}
 	}
 	if *oracle {
-		spec.Estimator = workload.Oracle()
+		spec.Estimator = "oracle"
 	}
-	tasks, err := gen.Generate(spec, workload.RNGFor(0xBEEF, *seed))
+	tasks, err := sys.Workload(spec, *seed)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *npus > 1 {
-		workers := *parallel
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
+		route, err := prema.ParseRouting(*routing)
+		if err != nil {
+			fatal(err)
 		}
-		runCluster(cfg, scfg, tasks, *npus, *routing, *policyName, *preemptive, *mechanism, workers)
+		runNode(sys, prema.Node{
+			NPUs: *npus, Routing: route, Local: sched, Parallel: *parallel,
+		}, tasks)
 		return
 	}
 
-	policy, err := sched.ByName(*policyName, scfg)
-	if err != nil {
-		fatal(err)
-	}
-	var selector sched.MechanismSelector
-	if *preemptive {
-		if selector, err = sched.SelectorByName(*mechanism); err != nil {
-			fatal(err)
-		}
-	}
-	simulator, err := sim.New(sim.Options{
-		NPU: cfg, Sched: scfg,
-		Policy: policy, Preemptive: *preemptive, Selector: selector,
-	}, workload.SchedTasks(tasks))
-	if err != nil {
-		fatal(err)
-	}
-	res, err := simulator.Run()
+	res, err := sys.Simulate(sched, tasks)
 	if err != nil {
 		fatal(err)
 	}
 
+	mech := "none"
+	if *preemptive {
+		mech = sched.Mechanism.String()
+	}
 	fmt.Printf("policy=%s preemptive=%v mechanism=%s tasks=%d makespan=%.2fms wakes=%d preemptions=%d\n\n",
-		*policyName, *preemptive, selName(selector), *nTasks,
-		cfg.Millis(res.Cycles), res.Wakes, countRealPreemptions(res))
+		policy, *preemptive, mech, *nTasks,
+		cfg.Millis(res.MakespanCycles), res.Wakes, res.ServicedPreemptions())
 
 	fmt.Printf("%-4s %-8s %-4s %-8s %-10s %-10s %-10s %-8s %-6s\n",
 		"id", "model", "bat", "prio", "arrive(ms)", "isolated", "turnaround", "NTT", "preempt")
@@ -112,49 +115,25 @@ func main() {
 			cfg.Millis(t.Turnaround()), t.NTT(), t.Preemptions)
 	}
 
-	m, err := metrics.FromTasks(res.Tasks)
-	if err != nil {
-		fatal(err)
-	}
 	fmt.Printf("\nANTT=%.2f  STP=%.2f  fairness=%.3f  SLA@4x=%.0f%%  SLA@8x=%.0f%%\n",
-		m.ANTT, m.STP, m.Fairness,
-		metrics.SLAViolationRate(res.Tasks, 4)*100,
-		metrics.SLAViolationRate(res.Tasks, 8)*100)
+		res.Metrics.ANTT, res.Metrics.STP, res.Metrics.Fairness,
+		res.SLAViolationRate(4)*100, res.SLAViolationRate(8)*100)
 
 	if *timeline {
 		fmt.Println()
 		fmt.Print(res.Timeline.Render(cfg, 100))
 	}
-	_ = dnn.BatchSizes
 }
 
-// runCluster drives the multi-NPU node path, simulating up to parallel
-// NPUs concurrently.
-func runCluster(cfg npu.Config, scfg sched.Config, tasks []*workload.Task,
-	npus int, routing, policy string, preemptive bool, mechanism string, parallel int) {
-
-	var rp cluster.RoutingPolicy
-	switch routing {
-	case "round-robin":
-		rp = cluster.RoundRobin
-	case "least-queued":
-		rp = cluster.LeastQueued
-	case "least-work":
-		rp = cluster.LeastWork
-	default:
-		fatal(fmt.Errorf("unknown routing policy %q", routing))
-	}
-	res, err := cluster.Run(cluster.Options{
-		NPUs: npus, Routing: rp,
-		NPU: cfg, Sched: scfg,
-		LocalPolicy: policy, Preemptive: preemptive, Selector: mechanism,
-		Parallel: parallel,
-	}, tasks)
+// runNode drives the multi-NPU node path.
+func runNode(sys *prema.System, node prema.Node, tasks []*prema.Instance) {
+	res, err := sys.SimulateNode(node, tasks)
 	if err != nil {
 		fatal(err)
 	}
+	cfg := sys.NPU()
 	fmt.Printf("node: %d NPUs, %s routing, local %s (preemptive=%v)\n\n",
-		npus, routing, policy, preemptive)
+		node.NPUs, node.Routing, node.Local.Policy, node.Local.Preemptive)
 	fmt.Printf("%-5s %-6s %-13s %-10s\n", "NPU", "tasks", "makespan(ms)", "busy")
 	for i, s := range res.PerNPU {
 		fmt.Printf("%-5d %-6d %-13.2f %3.0f%%\n",
@@ -162,24 +141,7 @@ func runCluster(cfg npu.Config, scfg sched.Config, tasks []*workload.Task,
 	}
 	fmt.Printf("\nANTT=%.2f  STP=%.2f  fairness=%.3f  preemptions=%d  SLA@4x=%.0f%%\n",
 		res.Metrics.ANTT, res.Metrics.STP, res.Metrics.Fairness, res.Preemptions,
-		metrics.SLAViolationRate(res.Tasks, 4)*100)
-}
-
-func countRealPreemptions(res *sim.Result) int {
-	n := 0
-	for _, ev := range res.Preemptions {
-		if ev.Cost.Mechanism.String() != "DRAIN" {
-			n++
-		}
-	}
-	return n
-}
-
-func selName(s sched.MechanismSelector) string {
-	if s == nil {
-		return "none"
-	}
-	return s.Name()
+		res.SLAViolationRate(4)*100)
 }
 
 func fatal(err error) {

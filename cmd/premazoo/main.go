@@ -15,12 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/compiler"
-	"repro/internal/dnn"
-	"repro/internal/isa"
-	"repro/internal/npu"
-	"repro/internal/sched"
-	"repro/internal/seqlen"
+	prema "repro"
 )
 
 func main() {
@@ -32,62 +27,55 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := npu.DefaultConfig()
+	sys, err := prema.NewSystem()
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sys.NPU()
 	if *showConfig {
-		printConfig(cfg)
+		printConfig(sys)
 		return
 	}
 
-	comp, err := compiler.New(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	lib, err := seqlen.NewLibrary(0xA11CE)
-	if err != nil {
-		fatal(err)
+	// lengths picks the representative sequence lengths for a model:
+	// the mid-range input with the regression-predicted output.
+	lengths := func(m *prema.Model) (int, int) {
+		if !m.IsRNN() {
+			return 0, 0
+		}
+		inLen := (m.MinInLen + m.MaxInLen) / 2
+		outLen, err := sys.PredictOutputLen(m, inLen)
+		if err != nil {
+			fatal(err)
+		}
+		return inLen, outLen
 	}
 
 	if *modelName != "" {
-		m, err := dnn.ByName(*modelName)
+		m, err := sys.Model(*modelName)
 		if err != nil {
 			fatal(err)
 		}
 		if *disasm {
-			inLen, outLen := 0, 0
-			if m.IsRNN() {
-				inLen = (m.MinInLen + m.MaxInLen) / 2
-				p, err := lib.Predictor(m.SeqProfile)
-				if err != nil {
-					fatal(err)
-				}
-				outLen = p.Regression.Predict(inLen)
-			}
-			prog, err := comp.Compile(m, *batch, inLen, outLen)
+			inLen, outLen := lengths(m)
+			prog, err := sys.Compile(m, *batch, inLen, outLen)
 			if err != nil {
 				fatal(err)
 			}
-			if err := isa.Disassemble(prog, os.Stdout); err != nil {
+			if err := prema.Disassemble(prog, os.Stdout); err != nil {
 				fatal(err)
 			}
 			return
 		}
-		printModel(cfg, m, *batch)
+		printModel(m, *batch)
 		return
 	}
 
 	fmt.Printf("%-10s %-5s %-7s %-10s %-11s %-12s %-12s\n",
 		"model", "class", "layers", "MACs(G)", "weights(MB)", "latency(ms)", "seq profile")
-	for _, m := range dnn.All() {
-		inLen, outLen := 0, 0
-		if m.IsRNN() {
-			inLen = (m.MinInLen + m.MaxInLen) / 2
-			p, err := lib.Predictor(m.SeqProfile)
-			if err != nil {
-				fatal(err)
-			}
-			outLen = p.Regression.Predict(inLen)
-		}
-		prog, err := comp.Compile(m, *batch, inLen, outLen)
+	for _, m := range prema.AllModels() {
+		inLen, outLen := lengths(m)
+		prog, err := sys.Compile(m, *batch, inLen, outLen)
 		if err != nil {
 			fatal(err)
 		}
@@ -103,7 +91,7 @@ func main() {
 	}
 }
 
-func printModel(cfg npu.Config, m *dnn.Model, batch int) {
+func printModel(m *prema.Model, batch int) {
 	inLen, outLen := 0, 0
 	if m.IsRNN() {
 		inLen = (m.MinInLen + m.MaxInLen) / 2
@@ -124,11 +112,12 @@ func printModel(cfg npu.Config, m *dnn.Model, batch int) {
 		fmt.Printf("%-16s %-7s %-24s %-10.1f %-10.1f\n",
 			l.Name, l.Kind, gemm,
 			float64(l.MACs(batch))/1e6,
-			float64(dnn.Bytes(l.OutputElems(batch)))/1024)
+			float64(prema.ElemBytes(l.OutputElems(batch)))/1024)
 	}
 }
 
-func printConfig(cfg npu.Config) {
+func printConfig(sys *prema.System) {
+	cfg := sys.NPU()
 	fmt.Println("NPU configuration (Table I):")
 	fmt.Printf("  systolic array        %dx%d PEs\n", cfg.SW, cfg.SH)
 	fmt.Printf("  accumulator depth     %d\n", cfg.ACC)
@@ -139,7 +128,7 @@ func printConfig(cfg npu.Config) {
 		cfg.MemBWBytesPerSec/1e9, cfg.BytesPerCycle())
 	fmt.Printf("  memory latency        %d cycles\n", cfg.MemLatencyCycles)
 	fmt.Printf("  peak throughput       %.1f TMAC/s\n", cfg.PeakMACsPerSec()/1e12)
-	scfg := sched.DefaultConfig()
+	scfg := sys.SchedConfig()
 	fmt.Println("\nPREMA scheduler configuration (Table II):")
 	fmt.Printf("  scheduling period     %v\n", scfg.Quantum)
 	fmt.Printf("  tokens per priority   %v (low/medium/high)\n", scfg.TokenThresholdLevels)

@@ -14,17 +14,11 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cluster"
-	"repro/internal/metrics"
-	"repro/internal/npu"
-	"repro/internal/sched"
-	"repro/internal/workload"
+	prema "repro"
 )
 
 func main() {
-	cfg := npu.DefaultConfig()
-	scfg := sched.DefaultConfig()
-	gen, err := workload.NewGenerator(cfg, 0xA11CE)
+	sys, err := prema.NewSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,33 +31,30 @@ func main() {
 		"NPUs", "router", "local", "ANTT", "STP", "SLA@4x")
 	for _, npus := range []int{1, 2, 4, 8} {
 		for _, local := range []struct {
-			label      string
-			policy     string
-			preemptive bool
+			label string
+			cfg   prema.Scheduler
 		}{
-			{"NP-FCFS", "FCFS", false},
-			{"Dynamic-PREMA", "PREMA", true},
+			{"NP-FCFS", prema.Scheduler{Policy: prema.FCFS}},
+			{"Dynamic-PREMA", prema.Scheduler{Policy: prema.PREMA, Preemptive: true}},
 		} {
 			var antt, stp, sla float64
 			for r := 0; r < runs; r++ {
-				ts, err := gen.Generate(workload.Spec{Tasks: tasks}, workload.RNGFor(99, r))
+				ts, err := sys.Workload(prema.WorkloadSpec{Tasks: tasks}, r)
 				if err != nil {
 					log.Fatal(err)
 				}
-				res, err := cluster.Run(cluster.Options{
-					NPUs: npus, Routing: cluster.LeastWork,
-					NPU: cfg, Sched: scfg,
-					LocalPolicy: local.policy, Preemptive: local.preemptive,
+				res, err := sys.SimulateNode(prema.Node{
+					NPUs: npus, Routing: prema.LeastWork, Local: local.cfg,
 				}, ts)
 				if err != nil {
 					log.Fatal(err)
 				}
 				antt += res.Metrics.ANTT / runs
 				stp += res.Metrics.STP / runs
-				sla += metrics.SLAViolationRate(res.Tasks, 4) / runs
+				sla += res.SLAViolationRate(4) / runs
 			}
 			fmt.Printf("%-5d %-13s %-15s %8.2f %8.2f %9.0f%%\n",
-				npus, "least-work", local.label, antt, stp, sla*100)
+				npus, prema.LeastWork, local.label, antt, stp, sla*100)
 		}
 	}
 	fmt.Println("\nEven with predictive routing, the NPU-local PREMA scheduler cuts ANTT by")

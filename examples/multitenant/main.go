@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	sys, err := prema.NewSystem(prema.Defaults())
+	sys, err := prema.NewSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,10 +27,12 @@ func main() {
 		label string
 		cfg   prema.Scheduler
 	}{
-		{"NP-FCFS (baseline)", prema.Scheduler{Policy: "FCFS"}},
-		{"NP-HPF", prema.Scheduler{Policy: "HPF"}},
-		{"P-SJF (checkpoint)", prema.Scheduler{Policy: "SJF", Preemptive: true, Mechanism: "static-checkpoint"}},
-		{"PREMA (dynamic)", prema.Scheduler{Policy: "PREMA", Preemptive: true, Mechanism: "dynamic"}},
+		{"NP-FCFS (baseline)", prema.Scheduler{Policy: prema.FCFS}},
+		{"NP-HPF", prema.Scheduler{Policy: prema.HPF}},
+		{"P-SJF (checkpoint)", prema.Scheduler{Policy: prema.SJF, Preemptive: true,
+			Mechanism: prema.StaticCheckpoint}},
+		{"PREMA (dynamic)", prema.Scheduler{Policy: prema.PREMA, Preemptive: true,
+			Mechanism: prema.Dynamic}},
 	}
 
 	const runs = 15

@@ -1,9 +1,9 @@
-// Preemption: reproduces the Figure 2 intuition on a concrete two-task
-// scenario — a long low-priority inference interrupted by a short
-// high-priority request — under the four scheduler/mechanism combinations
-// the paper contrasts: NP-FCFS, NP-HPF, P-HPF (checkpoint) and PREMA with
-// dynamic mechanism selection. Each run renders the NPU occupancy
-// timeline so the preemption behaviour is directly visible.
+// Preemption: reproduces the Figure 2 intuition on a concrete scenario —
+// a long low-priority inference interrupted by a short high-priority
+// request — under the four scheduler/mechanism combinations the paper
+// contrasts: NP-FCFS, NP-HPF, P-HPF (checkpoint) and PREMA with dynamic
+// mechanism selection. Each run renders the NPU occupancy timeline so
+// the preemption behaviour is directly visible.
 //
 // Run with:
 //
@@ -15,89 +15,58 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/metrics"
-	"repro/internal/npu"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	prema "repro"
 )
 
 func main() {
-	cfg := npu.DefaultConfig()
-	scfg := sched.DefaultConfig()
-	gen, err := workload.NewGenerator(cfg, 0xA11CE)
+	sys, err := prema.NewSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg := sys.NPU()
 
 	// The Figure 2 cast: I1 = long low-priority (VGGNet b16),
 	// I2 = short low-priority (GoogLeNet b1), I3 = high-priority
-	// arriving mid-execution (AlexNet b1).
-	makeTasks := func() []*workload.Task {
-		rng := workload.RNGFor(7, 1)
-		vn, err := gen.InstanceByName(0, "CNN-VN", 16, sched.Low, 0, rng)
+	// arriving mid-execution (AlexNet b1). Instances regenerate per
+	// configuration so every scheduler sees a fresh scenario.
+	makeTasks := func() []*prema.Instance {
+		tasks, err := sys.Instances(1,
+			prema.TaskSpec{Model: "CNN-VN", Batch: 16, Priority: prema.Low},
+			prema.TaskSpec{Model: "CNN-GN", Batch: 1, Priority: prema.Low,
+				Arrival: 2 * time.Millisecond},
+			prema.TaskSpec{Model: "CNN-AN", Batch: 1, Priority: prema.High,
+				Arrival: 5 * time.Millisecond},
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		gn, err := gen.InstanceByName(1, "CNN-GN", 1, sched.Low,
-			cfg.Cycles(2*time.Millisecond), rng)
-		if err != nil {
-			log.Fatal(err)
-		}
-		an, err := gen.InstanceByName(2, "CNN-AN", 1, sched.High,
-			cfg.Cycles(5*time.Millisecond), rng)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return []*workload.Task{vn, gn, an}
+		return tasks
 	}
 
 	configs := []struct {
-		label      string
-		policy     string
-		preemptive bool
-		selector   string
+		label string
+		cfg   prema.Scheduler
 	}{
-		{"(a) NP-FCFS", "FCFS", false, ""},
-		{"(b) NP-HPF", "HPF", false, ""},
-		{"(c) P-HPF + CHECKPOINT", "HPF", true, "static-checkpoint"},
-		{"(d) P-PREMA + dynamic", "PREMA", true, "dynamic"},
+		{"(a) NP-FCFS", prema.Scheduler{Policy: prema.FCFS}},
+		{"(b) NP-HPF", prema.Scheduler{Policy: prema.HPF}},
+		{"(c) P-HPF + CHECKPOINT", prema.Scheduler{Policy: prema.HPF,
+			Preemptive: true, Mechanism: prema.StaticCheckpoint}},
+		{"(d) P-PREMA + dynamic", prema.Scheduler{Policy: prema.PREMA,
+			Preemptive: true, Mechanism: prema.Dynamic}},
 	}
 	for _, c := range configs {
-		tasks := makeTasks()
-		policy, err := sched.ByName(c.policy, scfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var sel sched.MechanismSelector
-		if c.selector != "" {
-			if sel, err = sched.SelectorByName(c.selector); err != nil {
-				log.Fatal(err)
-			}
-		}
-		simulator, err := sim.New(sim.Options{
-			NPU: cfg, Sched: scfg, Policy: policy,
-			Preemptive: c.preemptive, Selector: sel,
-		}, workload.SchedTasks(tasks))
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := simulator.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
-		m, err := metrics.FromTasks(res.Tasks)
+		res, err := sys.Simulate(c.cfg, makeTasks())
 		if err != nil {
 			log.Fatal(err)
 		}
 		var hiNTT float64
 		for _, t := range res.Tasks {
-			if t.Priority == sched.High {
+			if t.Priority == prema.High {
 				hiNTT = t.NTT()
 			}
 		}
 		fmt.Printf("%s   ANTT=%.2f  high-priority NTT=%.2f  STP=%.2f\n",
-			c.label, m.ANTT, hiNTT, m.STP)
+			c.label, res.Metrics.ANTT, hiNTT, res.Metrics.STP)
 		fmt.Print(res.Timeline.Render(cfg, 90))
 		fmt.Println()
 	}

@@ -1,4 +1,4 @@
-// Quickstart: build a PREMA system, inspect the benchmark zoo, run one
+// Quickstart: build a PREMA system, inspect the workload, run one
 // multi-tenant simulation under the PREMA scheduler with dynamic
 // preemption, and print the paper's figures of merit.
 //
@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	sys, err := prema.NewSystem(prema.Defaults())
+	sys, err := prema.NewSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,9 +39,9 @@ func main() {
 	// Simulate under the paper's scheduler: token-based PREMA policy
 	// with Algorithm 3 dynamic preemption-mechanism selection.
 	res, err := sys.Simulate(prema.Scheduler{
-		Policy:     "PREMA",
+		Policy:     prema.PREMA,
 		Preemptive: true,
-		Mechanism:  "dynamic",
+		Mechanism:  prema.Dynamic,
 	}, tasks)
 	if err != nil {
 		log.Fatal(err)

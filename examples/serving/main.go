@@ -1,0 +1,71 @@
+// Serving: the paper's Figure 1 deployment as a streaming endpoint — a
+// long-lived Session fed by an open-loop Poisson arrival process with
+// dynamic batching, the TensorRT-Inference-Server operating regime. The
+// example sweeps the offered load and prints the throughput-latency
+// curve an operator provisions against, comparing the NP-FCFS baseline
+// with PREMA: preemption moves the p99 knee visibly to the right.
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	prema "repro"
+)
+
+func main() {
+	sys, err := prema.NewSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schedulers := []struct {
+		label string
+		cfg   prema.Scheduler
+	}{
+		{"NP-FCFS", prema.Scheduler{Policy: prema.FCFS}},
+		{"PREMA", prema.Scheduler{Policy: prema.PREMA, Preemptive: true,
+			Mechanism: prema.Dynamic}},
+	}
+
+	const horizon = 400 * time.Millisecond
+	fmt.Printf("%-9s %-6s %10s %10s %10s %10s %8s\n",
+		"scheduler", "load", "req/s", "p50(ms)", "p99(ms)", "SLA@4x", "batch")
+	for _, s := range schedulers {
+		for _, load := range []float64{0.3, 0.5, 0.7, 0.9} {
+			sess, err := sys.Open(prema.SessionConfig{
+				Scheduler: s.cfg,
+				// A CNN-serving endpoint: light models arrive fast
+				// enough for TRT-style dynamic batching to bite.
+				Models:  []string{"CNN-AN", "CNN-GN", "CNN-MN"},
+				Window:  4 * time.Millisecond,
+				Horizon: horizon,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := sess.OfferLoad(load, horizon); err != nil {
+				log.Fatal(err)
+			}
+			st, err := sess.Drain()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-9s %-6.1f %10.0f %10.2f %10.2f %9.0f%% %8.1f\n",
+				s.label, load, st.ThroughputPerSec,
+				st.P50LatencyMS, st.P99LatencyMS,
+				st.SLAViolations4x*100, st.MeanBatch)
+			if err := sess.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("\nThroughput tracks the offered load for both schedulers; PREMA's preemption")
+	fmt.Println("keeps short and high-priority requests ahead of long batched runs, cutting")
+	fmt.Println("median latency and SLA violations at every load level.")
+}

@@ -13,11 +13,10 @@ import (
 	"log"
 
 	prema "repro"
-	"repro/internal/sched"
 )
 
 func main() {
-	sys, err := prema.NewSystem(prema.Defaults())
+	sys, err := prema.NewSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,14 +25,16 @@ func main() {
 		label string
 		cfg   prema.Scheduler
 	}{
-		{"NP-FCFS", prema.Scheduler{Policy: "FCFS"}},
-		{"P-SJF", prema.Scheduler{Policy: "SJF", Preemptive: true, Mechanism: "static-checkpoint"}},
-		{"PREMA", prema.Scheduler{Policy: "PREMA", Preemptive: true, Mechanism: "dynamic"}},
+		{"NP-FCFS", prema.Scheduler{Policy: prema.FCFS}},
+		{"P-SJF", prema.Scheduler{Policy: prema.SJF, Preemptive: true,
+			Mechanism: prema.StaticCheckpoint}},
+		{"PREMA", prema.Scheduler{Policy: prema.PREMA, Preemptive: true,
+			Mechanism: prema.Dynamic}},
 	}
 	const runs = 20
 
 	// Pool completed tasks per scheduler across runs.
-	pooled := make([][]*sched.Task, len(schedulers))
+	pooled := make([][]*prema.Task, len(schedulers))
 	for si, s := range schedulers {
 		for r := 0; r < runs; r++ {
 			tasks, err := sys.Workload(prema.WorkloadSpec{Tasks: 8}, r)

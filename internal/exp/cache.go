@@ -139,7 +139,14 @@ func specFingerprint(spec workload.Spec) (string, bool) {
 	case spec.Estimator == workload.Oracle():
 		est = "oracle"
 	default:
-		return "", false
+		// A custom estimator may opt into caching by identifying
+		// itself; by the estimator contract (pure, one estimator per
+		// registered name) the key pins its behaviour.
+		ck, ok := spec.Estimator.(interface{ CacheKey() string })
+		if !ok {
+			return "", false
+		}
+		est = "custom:" + ck.CacheKey()
 	}
 	models := spec.Models
 	if len(models) == 0 {

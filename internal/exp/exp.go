@@ -149,10 +149,19 @@ type Suite struct {
 	// results are bit-identical, so enabling the cache never changes
 	// any table.
 	Cache *RunCache
+	// ProfileSeed is the seed the Gen's seq-length profile library was
+	// built with; it versions the on-disk cache (diskcache.go) together
+	// with the NPU configuration.
+	ProfileSeed uint64
 
 	// simulations counts simulateOne executions (cache misses plus
 	// non-cacheable runs); read via Simulations.
 	simulations int64
+
+	// diskPath/diskFP are set by AttachDiskCache and consumed by
+	// FlushDiskCache (see diskcache.go).
+	diskPath string
+	diskFP   string
 }
 
 // Simulations reports how many simulations the Suite has actually
@@ -164,18 +173,29 @@ func (s *Suite) Simulations() int64 {
 
 // NewSuite builds the default experiment suite.
 func NewSuite() (*Suite, error) {
-	cfg := npu.DefaultConfig()
-	gen, err := workload.NewGenerator(cfg, 0xA11CE)
-	if err != nil {
-		return nil, err
+	return NewSuiteFor(npu.DefaultConfig(), sched.DefaultConfig(), nil, 0xA11CE)
+}
+
+// NewSuiteFor builds a suite against an explicit NPU configuration,
+// scheduler configuration and profile seed. A non-nil gen must have
+// been built with (cfg, profileSeed) and is shared (its program cache
+// amortizes across suite and caller); nil constructs a fresh one.
+func NewSuiteFor(cfg npu.Config, scfg sched.Config, gen *workload.Generator, profileSeed uint64) (*Suite, error) {
+	if gen == nil {
+		var err error
+		gen, err = workload.NewGenerator(cfg, profileSeed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Suite{
-		NPU:   cfg,
-		Sched: sched.DefaultConfig(),
-		Gen:   gen,
-		Runs:  25,
-		Seed:  0xBEEF,
-		Cache: NewRunCache(),
+		NPU:         cfg,
+		Sched:       scfg,
+		Gen:         gen,
+		Runs:        25,
+		Seed:        0xBEEF,
+		Cache:       NewRunCache(),
+		ProfileSeed: profileSeed,
 	}, nil
 }
 

@@ -2,6 +2,8 @@ package sched
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/preempt"
 )
@@ -71,24 +73,115 @@ func (d Dynamic) Select(current, candidate *Task) preempt.Mechanism {
 	return d.Saving
 }
 
+// SelectorFactory constructs one mechanism-selector instance for one
+// simulation run.
+type SelectorFactory func() (MechanismSelector, error)
+
+// selectorReg is the mechanism-selector registry; the paper's
+// configurations are pre-registered through the same RegisterSelector
+// path external callers use. selectorAlias maps the accepted shorthand
+// labels onto canonical registered names.
+var (
+	selectorMu  sync.RWMutex
+	selectorReg = map[string]SelectorFactory{}
+
+	selectorAlias = map[string]string{
+		"static":             "static-checkpoint",
+		"dynamic-checkpoint": "dynamic",
+	}
+)
+
+// canonicalSelector resolves shorthand labels onto registered names.
+func canonicalSelector(name string) string {
+	if canon, ok := selectorAlias[name]; ok {
+		return canon
+	}
+	return name
+}
+
+// RegisterSelector adds a mechanism-selector configuration under a label.
+// Registration is write-once: a duplicate label is an error, so a label
+// always denotes one configuration for the life of the process.
+func RegisterSelector(name string, factory SelectorFactory) error {
+	if name == "" {
+		return fmt.Errorf("sched: empty selector name")
+	}
+	if factory == nil {
+		return fmt.Errorf("sched: nil factory for selector %q", name)
+	}
+	selectorMu.Lock()
+	defer selectorMu.Unlock()
+	if _, dup := selectorReg[name]; dup {
+		return fmt.Errorf("sched: selector %q already registered", name)
+	}
+	if _, shadows := selectorAlias[name]; shadows {
+		return fmt.Errorf("sched: selector %q would shadow a builtin alias", name)
+	}
+	selectorReg[name] = factory
+	return nil
+}
+
+// HasSelector reports whether a selector label (or accepted alias) is
+// registered.
+func HasSelector(name string) bool {
+	selectorMu.RLock()
+	defer selectorMu.RUnlock()
+	_, ok := selectorReg[canonicalSelector(name)]
+	return ok
+}
+
+// SelectorNames lists the registered selector labels in sorted order
+// (canonical names only; aliases are omitted).
+func SelectorNames() []string {
+	selectorMu.RLock()
+	defer selectorMu.RUnlock()
+	names := make([]string, 0, len(selectorReg))
+	for name := range selectorReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // SelectorByName constructs a mechanism selector by configuration label.
 func SelectorByName(name string) (MechanismSelector, error) {
-	switch name {
-	case "static-checkpoint", "static":
-		return Static{M: preempt.Checkpoint}, nil
-	case "static-kill":
-		return Static{M: preempt.Kill}, nil
-	case "static-kill-layer":
-		return Static{M: preempt.KillLayer}, nil
-	case "static-drain":
-		return Static{M: preempt.Drain}, nil
-	case "dynamic", "dynamic-checkpoint":
-		return NewDynamic(), nil
-	case "dynamic-kill":
-		return Dynamic{Saving: preempt.Kill}, nil
-	case "dynamic-kill-layer":
-		return Dynamic{Saving: preempt.KillLayer}, nil
-	default:
-		return nil, fmt.Errorf("sched: unknown mechanism selector %q", name)
+	selectorMu.RLock()
+	factory, ok := selectorReg[canonicalSelector(name)]
+	selectorMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown mechanism selector %q (known: %v)",
+			name, SelectorNames())
 	}
+	return factory()
+}
+
+// mustRegisterSelector registers a builtin configuration.
+func mustRegisterSelector(name string, factory SelectorFactory) {
+	if err := RegisterSelector(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegisterSelector("static-checkpoint", func() (MechanismSelector, error) {
+		return Static{M: preempt.Checkpoint}, nil
+	})
+	mustRegisterSelector("static-kill", func() (MechanismSelector, error) {
+		return Static{M: preempt.Kill}, nil
+	})
+	mustRegisterSelector("static-kill-layer", func() (MechanismSelector, error) {
+		return Static{M: preempt.KillLayer}, nil
+	})
+	mustRegisterSelector("static-drain", func() (MechanismSelector, error) {
+		return Static{M: preempt.Drain}, nil
+	})
+	mustRegisterSelector("dynamic", func() (MechanismSelector, error) {
+		return NewDynamic(), nil
+	})
+	mustRegisterSelector("dynamic-kill", func() (MechanismSelector, error) {
+		return Dynamic{Saving: preempt.Kill}, nil
+	})
+	mustRegisterSelector("dynamic-kill-layer", func() (MechanismSelector, error) {
+		return Dynamic{Saving: preempt.KillLayer}, nil
+	})
 }

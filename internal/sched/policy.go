@@ -3,6 +3,8 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -339,22 +341,84 @@ func (p *PREMA) Pick(ready []*Task, current *Task, now int64) Decision {
 	return Decision{Candidate: cand, Preempt: tokenPreempt(cand, current)}
 }
 
+// PolicyFactory constructs one policy instance for one simulation run.
+// Factories must return a fresh instance per call: policies may keep
+// scratch state (see the Policy contract), so instances cannot be shared
+// across concurrently running simulators.
+type PolicyFactory func(Config) (Policy, error)
+
+// policyReg is the policy registry. The six paper policies are
+// pre-registered through the same RegisterPolicy path external callers
+// use; the facade re-exports registration so custom policies plug in
+// without touching internal packages.
+var (
+	policyMu  sync.RWMutex
+	policyReg = map[string]PolicyFactory{}
+)
+
+// RegisterPolicy adds a policy under an evaluation label. Registration is
+// write-once: a duplicate label is an error, so a label always denotes one
+// policy for the life of the process (the simulation cache relies on it).
+func RegisterPolicy(name string, factory PolicyFactory) error {
+	if name == "" {
+		return fmt.Errorf("sched: empty policy name")
+	}
+	if factory == nil {
+		return fmt.Errorf("sched: nil factory for policy %q", name)
+	}
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if _, dup := policyReg[name]; dup {
+		return fmt.Errorf("sched: policy %q already registered", name)
+	}
+	policyReg[name] = factory
+	return nil
+}
+
+// HasPolicy reports whether a policy label is registered.
+func HasPolicy(name string) bool {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	_, ok := policyReg[name]
+	return ok
+}
+
+// PolicyNames lists the registered policy labels in sorted order.
+func PolicyNames() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	names := make([]string, 0, len(policyReg))
+	for name := range policyReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ByName constructs a policy by its evaluation label.
 func ByName(name string, cfg Config) (Policy, error) {
-	switch name {
-	case "FCFS":
-		return FCFS{}, nil
-	case "RRB":
-		return RRB{}, nil
-	case "HPF":
-		return HPF{}, nil
-	case "SJF":
-		return SJF{}, nil
-	case "TOKEN":
-		return NewToken(cfg), nil
-	case "PREMA":
-		return NewPREMA(cfg), nil
-	default:
-		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	policyMu.RLock()
+	factory, ok := policyReg[name]
+	policyMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown policy %q (known: %v)", name, PolicyNames())
 	}
+	return factory(cfg)
+}
+
+// mustRegisterPolicy registers a builtin; the labels are distinct string
+// literals, so failure is a programming error.
+func mustRegisterPolicy(name string, factory PolicyFactory) {
+	if err := RegisterPolicy(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegisterPolicy("FCFS", func(Config) (Policy, error) { return FCFS{}, nil })
+	mustRegisterPolicy("RRB", func(Config) (Policy, error) { return RRB{}, nil })
+	mustRegisterPolicy("HPF", func(Config) (Policy, error) { return HPF{}, nil })
+	mustRegisterPolicy("SJF", func(Config) (Policy, error) { return SJF{}, nil })
+	mustRegisterPolicy("TOKEN", func(cfg Config) (Policy, error) { return NewToken(cfg), nil })
+	mustRegisterPolicy("PREMA", func(cfg Config) (Policy, error) { return NewPREMA(cfg), nil })
 }

@@ -66,64 +66,93 @@ func (s *Server) RunBatched(bs BatchSpec, policy string, preemptive bool, select
 	windowCycles := s.cfg.Cycles(bs.Window)
 
 	// Coalesce: group same-model CNN requests whose arrivals fall
-	// within windowCycles of the group's first request.
-	type pendingGroup struct {
-		model   string
-		opened  int64
-		members []memberRequest
-		rng     *rand.Rand
-	}
+	// within windowCycles of the group's first request. The fused task
+	// re-instances the group at its batch size with a randomly sampled
+	// priority, dispatching when its window closes (the last member's
+	// arrival).
 	var tasks []*workload.Task
 	members := map[int][]memberRequest{} // task ID -> original requests
 	nextID := 0
-
-	flush := func(g *pendingGroup) error {
-		if g == nil || len(g.members) == 0 {
-			return nil
-		}
-		batch := len(g.members)
+	flush := func(group []*workload.Task) error {
+		batch := len(group)
 		if batch > bs.MaxBatch {
 			batch = bs.MaxBatch
 		}
-		// The fused task dispatches when its window closes (or at the
-		// last member's arrival if that is later due to capping).
-		arrival := g.members[len(g.members)-1].arrival
-		prio := sched.Priorities[g.rng.IntN(len(sched.Priorities))]
-		task, err := s.gen.InstanceByName(nextID, g.model, batch, prio, arrival, g.rng)
+		arrival := group[len(group)-1].Arrival
+		prio := sched.Priorities[rng.IntN(len(sched.Priorities))]
+		task, err := s.gen.InstanceByName(nextID, group[0].Model, batch, prio, arrival, rng)
 		if err != nil {
 			return err
 		}
 		tasks = append(tasks, task)
-		members[nextID] = append([]memberRequest(nil), g.members...)
+		members[nextID] = groupMembers(group)
 		nextID++
 		return nil
 	}
+	passThrough := func(r *workload.Task) bool {
+		return r.ModelRef.IsRNN() || windowCycles == 0
+	}
+	if err := groupRequests(requests, windowCycles, bs.MaxBatch, passThrough, flush); err != nil {
+		return BatchStats{}, err
+	}
+	if len(tasks) == 0 {
+		return BatchStats{}, fmt.Errorf("serving: batching produced no tasks")
+	}
 
-	open := map[string]*pendingGroup{}
-	sort.Slice(requests, func(i, j int) bool { return requests[i].Arrival < requests[j].Arrival })
-	for _, r := range requests {
-		m := memberRequest{arrival: r.Arrival, isolated: r.IsolatedCycles}
-		if r.ModelRef.IsRNN() || windowCycles == 0 {
-			// Pass through unbatched.
-			g := &pendingGroup{model: r.Model, opened: r.Arrival,
-				members: []memberRequest{m}, rng: rng}
-			if err := flush(g); err != nil {
-				return BatchStats{}, err
+	res, err := s.simulate(policy, preemptive, selector, tasks)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	return s.memberStats(res, members, s.warmupCut(bs.Spec.Horizon, bs.Spec.WarmupFraction))
+}
+
+// groupMembers projects a request group onto its member records.
+func groupMembers(group []*workload.Task) []memberRequest {
+	ms := make([]memberRequest, len(group))
+	for i, r := range group {
+		ms[i] = memberRequest{arrival: r.Arrival, isolated: r.IsolatedCycles}
+	}
+	return ms
+}
+
+// groupRequests runs the windowed grouping shared by RunBatched and the
+// Session coalescer: requests are visited in arrival order; pass-through
+// requests flush immediately as singleton groups, others accumulate per
+// model and flush when the group's window expires or the batch cap
+// fills, and the tail groups flush in sorted model order. For a given
+// stream the sequence of flush calls is deterministic, so flush may
+// consume randomness.
+func groupRequests(requests []*workload.Task, windowCycles int64, maxBatch int,
+	passThrough func(*workload.Task) bool, flush func([]*workload.Task) error) error {
+
+	ordered := append([]*workload.Task(nil), requests...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+
+	type group struct {
+		opened int64
+		tasks  []*workload.Task
+	}
+	open := map[string]*group{}
+	for _, r := range ordered {
+		if passThrough(r) {
+			if err := flush([]*workload.Task{r}); err != nil {
+				return err
 			}
 			continue
 		}
 		g := open[r.Model]
-		if g != nil && (r.Arrival-g.opened > windowCycles || len(g.members) >= bs.MaxBatch) {
-			if err := flush(g); err != nil {
-				return BatchStats{}, err
+		if g != nil && (r.Arrival-g.opened > windowCycles || len(g.tasks) >= maxBatch) {
+			if err := flush(g.tasks); err != nil {
+				return err
 			}
+			delete(open, r.Model)
 			g = nil
 		}
 		if g == nil {
-			g = &pendingGroup{model: r.Model, opened: r.Arrival, rng: rng}
+			g = &group{opened: r.Arrival}
 			open[r.Model] = g
 		}
-		g.members = append(g.members, m)
+		g.tasks = append(g.tasks, r)
 	}
 	// Deterministic flush order for the tail groups.
 	var names []string
@@ -132,48 +161,23 @@ func (s *Server) RunBatched(bs BatchSpec, policy string, preemptive bool, select
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if err := flush(open[name]); err != nil {
-			return BatchStats{}, err
+		if err := flush(open[name].tasks); err != nil {
+			return err
 		}
 	}
-	if len(tasks) == 0 {
-		return BatchStats{}, fmt.Errorf("serving: batching produced no tasks")
-	}
+	return nil
+}
 
-	pol, err := sched.ByName(policy, s.scfg)
-	if err != nil {
-		return BatchStats{}, err
-	}
-	var sel sched.MechanismSelector
-	if preemptive {
-		if selector == "" {
-			selector = "dynamic"
-		}
-		if sel, err = sched.SelectorByName(selector); err != nil {
-			return BatchStats{}, err
-		}
-	}
-	simulator, err := sim.New(sim.Options{
-		NPU: s.cfg, Sched: s.scfg,
-		Policy: pol, Preemptive: preemptive, Selector: sel,
-	}, workload.SchedTasks(tasks))
-	if err != nil {
-		return BatchStats{}, err
-	}
-	res, err := simulator.Run()
-	if err != nil {
-		return BatchStats{}, err
-	}
-
-	// Per-request statistics.
-	warmup := bs.Spec.WarmupFraction
-	if warmup <= 0 {
-		warmup = 0.2
-	}
-	cut := int64(float64(s.cfg.Cycles(bs.Spec.Horizon)) * warmup)
+// memberStats computes per-request (member) statistics of a completed
+// batched run: latency is measured from each original request's arrival
+// to its fused task's completion, and normalized turnaround uses the
+// request's batch-1 isolated time. Requests arriving before cut are
+// excluded from latency statistics.
+func (s *Server) memberStats(res *sim.Result, members map[int][]memberRequest, cut int64) (BatchStats, error) {
 	var latencies, ntts []float64
 	var totalMembers, cnnBatches, cnnMembers int
 	out := BatchStats{Dispatched: len(res.Tasks)}
+	var violated, measuredMembers int
 	for _, task := range res.Tasks {
 		ms := members[task.ID]
 		totalMembers += len(ms)
@@ -185,9 +189,14 @@ func (s *Server) RunBatched(bs BatchSpec, policy string, preemptive bool, select
 			if m.arrival < cut {
 				continue
 			}
+			measuredMembers++
 			lat := task.Completion - m.arrival
 			latencies = append(latencies, s.cfg.Millis(lat))
-			ntts = append(ntts, float64(lat)/float64(m.isolated))
+			ntt := float64(lat) / float64(m.isolated)
+			ntts = append(ntts, ntt)
+			if ntt > 4 {
+				violated++
+			}
 		}
 	}
 	out.Requests = totalMembers
@@ -196,9 +205,11 @@ func (s *Server) RunBatched(bs BatchSpec, policy string, preemptive bool, select
 		return BatchStats{}, fmt.Errorf("serving: no requests survive the warm-up window")
 	}
 	out.MeanLatencyMS = stats.Mean(latencies)
+	out.P50LatencyMS = stats.Percentile(latencies, 50)
 	out.P95LatencyMS = stats.Percentile(latencies, 95)
 	out.P99LatencyMS = stats.Percentile(latencies, 99)
 	out.MeanNTT = stats.Mean(ntts)
+	out.SLAViolations4x = float64(violated) / float64(measuredMembers)
 	if sec := s.cfg.Seconds(res.Cycles); sec > 0 {
 		out.ThroughputPerSec = float64(totalMembers) / sec
 	}

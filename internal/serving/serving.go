@@ -47,9 +47,9 @@ type Stats struct {
 	Measured int
 	// ThroughputPerSec is completed inferences per second of makespan.
 	ThroughputPerSec float64
-	// MeanLatencyMS, P95LatencyMS, P99LatencyMS are steady-state
-	// turnaround statistics.
-	MeanLatencyMS, P95LatencyMS, P99LatencyMS float64
+	// MeanLatencyMS, P50LatencyMS, P95LatencyMS, P99LatencyMS are
+	// steady-state turnaround statistics.
+	MeanLatencyMS, P50LatencyMS, P95LatencyMS, P99LatencyMS float64
 	// MeanNTT is the mean normalized turnaround of measured requests.
 	MeanNTT float64
 	// SLAViolations4x is the measured fraction violating 4x isolated.
@@ -143,18 +143,15 @@ func defaultSuite() []string {
 		"RNN-SA", "RNN-MT1", "RNN-MT2", "RNN-ASR"}
 }
 
-// Run executes one sustained-load scenario under the given scheduler
-// configuration and returns steady-state statistics.
-func (s *Server) Run(spec Spec, policy string, preemptive bool, selector string,
-	rng *rand.Rand) (Stats, error) {
+// simulate resolves the scheduler configuration (fresh policy and
+// selector instances per call; see the sched.Policy contract) and runs
+// one simulation over the given tasks.
+func (s *Server) simulate(policy string, preemptive bool, selector string,
+	tasks []*workload.Task) (*sim.Result, error) {
 
-	tasks, err := s.Generate(spec, rng)
-	if err != nil {
-		return Stats{}, err
-	}
 	pol, err := sched.ByName(policy, s.scfg)
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
 	var sel sched.MechanismSelector
 	if preemptive {
@@ -162,7 +159,7 @@ func (s *Server) Run(spec Spec, policy string, preemptive bool, selector string,
 			selector = "dynamic"
 		}
 		if sel, err = sched.SelectorByName(selector); err != nil {
-			return Stats{}, err
+			return nil, err
 		}
 	}
 	simulator, err := sim.New(sim.Options{
@@ -170,18 +167,14 @@ func (s *Server) Run(spec Spec, policy string, preemptive bool, selector string,
 		Policy: pol, Preemptive: preemptive, Selector: sel,
 	}, workload.SchedTasks(tasks))
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
-	res, err := simulator.Run()
-	if err != nil {
-		return Stats{}, err
-	}
+	return simulator.Run()
+}
 
-	warmup := spec.WarmupFraction
-	if warmup <= 0 {
-		warmup = 0.2
-	}
-	cut := int64(float64(s.cfg.Cycles(spec.Horizon)) * warmup)
+// steadyStats computes the steady-state statistics of a completed run,
+// excluding requests that arrived before cut.
+func (s *Server) steadyStats(res *sim.Result, cut int64) (Stats, error) {
 	out := Stats{Requests: len(res.Tasks)}
 	var latencies, ntts []float64
 	var measured []*sched.Task
@@ -198,6 +191,7 @@ func (s *Server) Run(spec Spec, policy string, preemptive bool, selector string,
 		return Stats{}, fmt.Errorf("serving: no requests survive the warm-up window")
 	}
 	out.MeanLatencyMS = stats.Mean(latencies)
+	out.P50LatencyMS = stats.Percentile(latencies, 50)
 	out.P95LatencyMS = stats.Percentile(latencies, 95)
 	out.P99LatencyMS = stats.Percentile(latencies, 99)
 	out.MeanNTT = stats.Mean(ntts)
@@ -210,4 +204,34 @@ func (s *Server) Run(spec Spec, policy string, preemptive bool, selector string,
 		out.P99LatencyMS = out.P95LatencyMS
 	}
 	return out, nil
+}
+
+// warmupFraction resolves the warm-up fraction default (0.2).
+func warmupFraction(f float64) float64 {
+	if f <= 0 {
+		return 0.2
+	}
+	return f
+}
+
+// warmupCut converts a horizon and warm-up fraction into the arrival
+// cycle before which requests are excluded from statistics.
+func (s *Server) warmupCut(horizon time.Duration, warmup float64) int64 {
+	return int64(float64(s.cfg.Cycles(horizon)) * warmupFraction(warmup))
+}
+
+// Run executes one sustained-load scenario under the given scheduler
+// configuration and returns steady-state statistics.
+func (s *Server) Run(spec Spec, policy string, preemptive bool, selector string,
+	rng *rand.Rand) (Stats, error) {
+
+	tasks, err := s.Generate(spec, rng)
+	if err != nil {
+		return Stats{}, err
+	}
+	res, err := s.simulate(policy, preemptive, selector, tasks)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.steadyStats(res, s.warmupCut(spec.Horizon, spec.WarmupFraction))
 }

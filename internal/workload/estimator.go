@@ -1,0 +1,79 @@
+package workload
+
+// estimator.go is the named-estimator registry: the facade and the CLI
+// select execution-time estimators by label ("analytic", "oracle", or a
+// custom registration) instead of passing interface values around. The
+// two paper estimators are pre-registered through the same path external
+// registrations use.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	estMu  sync.RWMutex
+	estReg = map[string]Estimator{}
+)
+
+// RegisterEstimator adds an execution-time estimator under a name.
+// Registration is write-once: a duplicate name is an error, so a name
+// always denotes one estimator for the life of the process. Estimators
+// must be pure (same inputs, same estimate) and safe for concurrent use;
+// a registered estimator may additionally implement
+// interface{ CacheKey() string } to opt its runs into the experiment
+// engine's simulation-result cache.
+func RegisterEstimator(name string, est Estimator) error {
+	if name == "" {
+		return fmt.Errorf("workload: empty estimator name")
+	}
+	if name == "analytic" || name == "oracle" {
+		return fmt.Errorf("workload: estimator name %q is reserved for the builtin", name)
+	}
+	if est == nil {
+		return fmt.Errorf("workload: nil estimator %q", name)
+	}
+	estMu.Lock()
+	defer estMu.Unlock()
+	if _, dup := estReg[name]; dup {
+		return fmt.Errorf("workload: estimator %q already registered", name)
+	}
+	estReg[name] = est
+	return nil
+}
+
+// EstimatorByName resolves an estimator label. The empty name and
+// "analytic" select the Algorithm 1 analytic model (represented as a nil
+// Estimator, which the Generator resolves internally); "oracle" selects
+// exact execution times.
+func EstimatorByName(name string) (Estimator, error) {
+	switch name {
+	case "", "analytic":
+		return nil, nil
+	case "oracle":
+		return Oracle(), nil
+	}
+	estMu.RLock()
+	est, ok := estReg[name]
+	estMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown estimator %q (known: %v)",
+			name, EstimatorNames())
+	}
+	return est, nil
+}
+
+// EstimatorNames lists the selectable estimator labels in sorted order,
+// always including the two builtins.
+func EstimatorNames() []string {
+	estMu.RLock()
+	names := make([]string, 0, len(estReg)+2)
+	for name := range estReg {
+		names = append(names, name)
+	}
+	estMu.RUnlock()
+	names = append(names, "analytic", "oracle")
+	sort.Strings(names)
+	return names
+}

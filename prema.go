@@ -4,46 +4,80 @@
 // Scheduling Algorithm For Preemptible Neural Processing Units"
 // (HPCA 2020).
 //
-// The facade wires the internal substrates together behind a small API:
+// The API is organized around four pillars:
 //
-//	sys, _ := prema.NewSystem(prema.Defaults())
+// Typed configuration. Scheduling policies, preemption mechanisms and
+// routing policies are typed identifiers with parse helpers and eager
+// validation; a System is built with functional options:
+//
+//	sys, _ := prema.NewSystem()
 //	tasks, _ := sys.Workload(prema.WorkloadSpec{Tasks: 8}, 1)
-//	res, _ := sys.Simulate(prema.Scheduler{Policy: "PREMA", Preemptive: true,
-//	        Mechanism: "dynamic"}, tasks)
+//	res, _ := sys.Simulate(prema.Scheduler{
+//	        Policy: prema.PREMA, Preemptive: true, Mechanism: prema.Dynamic,
+//	}, tasks)
 //	fmt.Println(res.Metrics.ANTT, res.Metrics.STP)
 //
-// Lower-level control (custom models, predictors, preemption mechanisms,
-// experiment harnesses) lives in the internal packages; the cmd/ tools and
-// examples/ directory demonstrate the intended usage patterns.
+// Pluggable registries. RegisterPolicy, RegisterSelector and
+// RegisterEstimator add custom scheduling policies, preemption-mechanism
+// selectors and execution-time estimators that participate everywhere a
+// builtin does — the paper's own policies are pre-registered through the
+// same path.
+//
+// Streaming serving. System.Open returns a Session: an open-loop,
+// dynamically batching serving endpoint — the paper's Figure 1 TensorRT
+// Inference Server setting — that accepts a sustained request stream and
+// answers incremental latency/throughput/SLA statistics.
+//
+// Experiment suite. NewSuite shares one simulation-result cache (and
+// optionally an on-disk cache) across every paper experiment run through
+// Suite.Run.
+//
+// The cmd/ tools and examples/ directory are built exclusively on this
+// facade and demonstrate the intended usage patterns.
 package prema
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dnn"
-	"repro/internal/exp"
 	"repro/internal/metrics"
 	"repro/internal/npu"
 	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// Options configures a System.
+// Options configures a System; construct it through NewSystem's
+// functional options.
 type Options struct {
 	// NPU is the accelerator configuration (Table I of the paper).
-	NPU npu.Config
+	NPU NPUConfig
 	// Sched is the scheduler configuration (Table II).
-	Sched sched.Config
+	Sched SchedConfig
 	// ProfileSeed seeds the seq2seq length-characterization corpora.
 	ProfileSeed uint64
 }
 
-// Defaults returns the paper's configuration.
-func Defaults() Options {
+// Option mutates the System configuration at construction.
+type Option func(*Options)
+
+// WithNPU overrides the accelerator configuration.
+func WithNPU(cfg NPUConfig) Option { return func(o *Options) { o.NPU = cfg } }
+
+// WithSchedConfig overrides the scheduler configuration.
+func WithSchedConfig(cfg SchedConfig) Option { return func(o *Options) { o.Sched = cfg } }
+
+// WithQuantum overrides just the scheduling-period time quota.
+func WithQuantum(q time.Duration) Option { return func(o *Options) { o.Sched.Quantum = q } }
+
+// WithProfileSeed overrides the sequence-length profile seed.
+func WithProfileSeed(seed uint64) Option { return func(o *Options) { o.ProfileSeed = seed } }
+
+// defaults returns the paper's configuration.
+func defaults() Options {
 	return Options{
 		NPU:         npu.DefaultConfig(),
 		Sched:       sched.DefaultConfig(),
@@ -51,18 +85,27 @@ func Defaults() Options {
 	}
 }
 
-// System is a ready-to-use simulation environment: one NPU configuration,
-// a compiled-program cache, the benchmark model zoo, and the sequence-
-// length profile library.
+// System is a ready-to-use simulation environment: one NPU
+// configuration, a compiled-program cache, the benchmark model zoo, and
+// the sequence-length profile library. A System is safe for concurrent
+// use.
 type System struct {
 	opt Options
 	gen *workload.Generator
 }
 
-// NewSystem builds a System.
-func NewSystem(opt Options) (*System, error) {
+// NewSystem builds a System from the paper's defaults plus the given
+// options.
+func NewSystem(opts ...Option) (*System, error) {
+	opt := defaults()
+	for _, apply := range opts {
+		apply(&opt)
+	}
 	if err := opt.NPU.Validate(); err != nil {
 		return nil, err
+	}
+	if opt.Sched.Quantum <= 0 {
+		return nil, fmt.Errorf("prema: non-positive scheduling quantum %v", opt.Sched.Quantum)
 	}
 	gen, err := workload.NewGenerator(opt.NPU, opt.ProfileSeed)
 	if err != nil {
@@ -72,12 +115,17 @@ func NewSystem(opt Options) (*System, error) {
 }
 
 // NPU returns the accelerator configuration.
-func (s *System) NPU() npu.Config { return s.opt.NPU }
+func (s *System) NPU() NPUConfig { return s.opt.NPU }
 
-// Models returns the benchmark model zoo labels.
+// SchedConfig returns the scheduler configuration.
+func (s *System) SchedConfig() SchedConfig { return s.opt.Sched }
+
+// Models returns the benchmark model zoo labels (the eight-model suite
+// plus the auxiliary models).
 func (s *System) Models() []string { return dnn.Names() }
 
-// WorkloadSpec mirrors workload.Spec for the facade.
+// WorkloadSpec parameterizes workload generation (the Section III
+// methodology).
 type WorkloadSpec struct {
 	// Tasks is the number of co-scheduled inference requests.
 	Tasks int
@@ -88,18 +136,29 @@ type WorkloadSpec struct {
 	BatchSizes []int
 	// ArrivalWindow is the dispatch window (default 20ms).
 	ArrivalWindow time.Duration
-	// Oracle feeds exact execution times to the scheduler instead of
-	// the Algorithm 1 predictor.
-	Oracle bool
+	// Priority pins every task to one level when non-zero; zero draws
+	// priorities uniformly at random.
+	Priority Priority
+	// Estimator selects the execution-time estimator by label: empty
+	// or "analytic" is the Algorithm 1 model, "oracle" feeds exact
+	// execution times, and RegisterEstimator adds custom labels.
+	Estimator string
 }
 
 // Workload draws one multi-tasked workload; run seeds the randomness so
-// repeated calls with the same run compare schedulers on identical mixes.
-func (s *System) Workload(spec WorkloadSpec, run int) ([]*workload.Task, error) {
+// repeated calls with the same run compare schedulers on identical
+// mixes.
+func (s *System) Workload(spec WorkloadSpec, run int) ([]*Instance, error) {
+	est, err := workload.EstimatorByName(spec.Estimator)
+	if err != nil {
+		return nil, err
+	}
 	wspec := workload.Spec{
 		Tasks:         spec.Tasks,
 		BatchSizes:    spec.BatchSizes,
 		ArrivalWindow: spec.ArrivalWindow,
+		FixedPriority: spec.Priority,
+		Estimator:     est,
 	}
 	for _, name := range spec.Models {
 		m, err := dnn.ByName(name)
@@ -108,52 +167,95 @@ func (s *System) Workload(spec WorkloadSpec, run int) ([]*workload.Task, error) 
 		}
 		wspec.Models = append(wspec.Models, m)
 	}
-	if spec.Oracle {
-		wspec.Estimator = workload.Oracle()
-	}
 	rng := workload.RNGFor(0xBEEF, run)
 	return s.gen.Generate(wspec, rng)
 }
 
-// Scheduler selects a scheduling configuration by label.
-type Scheduler struct {
-	// Policy is one of FCFS, RRB, HPF, TOKEN, SJF, PREMA.
-	Policy string
-	// Preemptive enables the preemptible-NPU path.
-	Preemptive bool
-	// Mechanism selects the preemption-mechanism configuration for
-	// preemptive runs: "static-checkpoint", "static-kill",
-	// "static-drain", "dynamic" (Algorithm 3), or "dynamic-kill".
-	Mechanism string
+// TaskSpec describes one hand-built task instance for scenario
+// construction (e.g. the Figure 2 two-task intuition).
+type TaskSpec struct {
+	// Model is the workload label (see Models).
+	Model string
+	// Batch is the inference batch size (0 selects 1).
+	Batch int
+	// Priority is the service level (0 selects Medium).
+	Priority Priority
+	// Arrival is the dispatch time.
+	Arrival time.Duration
+}
+
+// Instances compiles concrete task instances from explicit specs, IDs
+// assigned in order. run seeds the RNN sequence-length sampling so
+// repeated calls with the same run build identical scenarios.
+func (s *System) Instances(run int, specs ...TaskSpec) ([]*Instance, error) {
+	rng := workload.RNGFor(0x9ced, run)
+	out := make([]*Instance, 0, len(specs))
+	for i, spec := range specs {
+		batch := spec.Batch
+		if batch <= 0 {
+			batch = 1
+		}
+		prio := spec.Priority
+		if prio == 0 {
+			prio = Medium
+		}
+		inst, err := s.gen.InstanceByName(i, spec.Model, batch, prio,
+			s.opt.NPU.Cycles(spec.Arrival), rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inst)
+	}
+	return out, nil
 }
 
 // Result is the outcome of one simulated multi-tenant run.
 type Result struct {
 	// Metrics are the Equation 1-2 figures of merit.
-	Metrics metrics.Run
+	Metrics Metrics
 	// Tasks are the completed scheduler entries.
-	Tasks []*sched.Task
+	Tasks []*Task
 	// Preemptions are the serviced preemption events.
-	Preemptions []sim.PreemptionEvent
+	Preemptions []PreemptionEvent
 	// MakespanCycles is the completion time of the last task.
 	MakespanCycles int64
+	// Wakes counts scheduler invocations.
+	Wakes int64
 	// Timeline reconstructs NPU occupancy for rendering.
-	Timeline *trace.Timeline
+	Timeline *Timeline
+}
+
+// checkFresh rejects instances that already ran through a simulation:
+// scheduler entries are stateful (tokens, execution cursor, completion),
+// so re-simulating one silently produces garbage. Regenerate the
+// workload (same run index gives the identical mix) instead.
+func checkFresh(tasks []*Instance) error {
+	for _, t := range tasks {
+		if t.Completion >= 0 || t.Start >= 0 {
+			return fmt.Errorf("prema: task %d (%s) was already simulated; instances are single-use — regenerate the workload",
+				t.ID, t.Model)
+		}
+	}
+	return nil
 }
 
 // Simulate runs one workload under the given scheduler configuration.
-func (s *System) Simulate(cfg Scheduler, tasks []*workload.Task) (*Result, error) {
-	policy, err := sched.ByName(cfg.Policy, s.opt.Sched)
+// Instances are single-use: draw a fresh workload (same run index, same
+// mix) for every Simulate call.
+func (s *System) Simulate(cfg Scheduler, tasks []*Instance) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkFresh(tasks); err != nil {
+		return nil, err
+	}
+	policy, err := sched.ByName(string(cfg.Policy), s.opt.Sched)
 	if err != nil {
 		return nil, err
 	}
-	var selector sched.MechanismSelector
+	var selector MechanismSelector
 	if cfg.Preemptive {
-		mech := cfg.Mechanism
-		if mech == "" {
-			mech = "dynamic"
-		}
-		selector, err = sched.SelectorByName(mech)
+		selector, err = sched.SelectorByName(string(cfg.mechanism()))
 		if err != nil {
 			return nil, err
 		}
@@ -178,6 +280,7 @@ func (s *System) Simulate(cfg Scheduler, tasks []*workload.Task) (*Result, error
 		Tasks:          res.Tasks,
 		Preemptions:    res.Preemptions,
 		MakespanCycles: res.Cycles,
+		Wakes:          res.Wakes,
 		Timeline:       res.Timeline,
 	}, nil
 }
@@ -188,51 +291,61 @@ func (r *Result) SLAViolationRate(target float64) float64 {
 	return metrics.SLAViolationRate(r.Tasks, target)
 }
 
-// Node configures a multi-NPU system node (the paper's Section II-C
-// deployment model, implemented as the beyond-paper extension in
-// internal/cluster).
-type Node struct {
-	// NPUs is the accelerator count (>= 1).
-	NPUs int
-	// Routing selects the router: "round-robin", "least-queued", or
-	// "least-work" (predictive, reusing the Algorithm 1 estimates).
-	Routing string
-	// Local is the per-NPU scheduler configuration.
-	Local Scheduler
+// ServicedPreemptions counts the preemption events that actually
+// interrupted a running task (DRAIN lets the runner finish and so does
+// not count).
+func (r *Result) ServicedPreemptions() int {
+	n := 0
+	for _, ev := range r.Preemptions {
+		if ev.Cost.Mechanism != Drain {
+			n++
+		}
+	}
+	return n
 }
 
 // NodeResult aggregates a cluster simulation.
 type NodeResult struct {
 	// Metrics span all tasks on all NPUs.
-	Metrics metrics.Run
+	Metrics Metrics
 	// Tasks pools the completed scheduler entries.
-	Tasks []*sched.Task
+	Tasks []*Task
 	// PerNPU summarizes each accelerator's share.
-	PerNPU []cluster.NPUStats
+	PerNPU []NPUStats
 	// Preemptions counts serviced preemptions clusterwide.
 	Preemptions int
 }
 
+// SLAViolationRate reports the fraction of tasks violating an SLA target
+// expressed as a multiple of each task's isolated execution time.
+func (r *NodeResult) SLAViolationRate(target float64) float64 {
+	return metrics.SLAViolationRate(r.Tasks, target)
+}
+
 // SimulateNode routes the workload across the node's NPUs and simulates
 // each accelerator under its local scheduler.
-func (s *System) SimulateNode(node Node, tasks []*workload.Task) (*NodeResult, error) {
-	var routing cluster.RoutingPolicy
-	switch node.Routing {
-	case "", "round-robin":
-		routing = cluster.RoundRobin
-	case "least-queued":
-		routing = cluster.LeastQueued
-	case "least-work":
-		routing = cluster.LeastWork
-	default:
-		return nil, fmt.Errorf("prema: unknown routing policy %q", node.Routing)
+func (s *System) SimulateNode(node Node, tasks []*Instance) (*NodeResult, error) {
+	if err := node.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkFresh(tasks); err != nil {
+		return nil, err
+	}
+	routing, err := node.Routing.toCluster()
+	if err != nil {
+		return nil, err
+	}
+	parallel := node.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
 	}
 	res, err := cluster.Run(cluster.Options{
 		NPUs: node.NPUs, Routing: routing,
 		NPU: s.opt.NPU, Sched: s.opt.Sched,
-		LocalPolicy: node.Local.Policy,
+		LocalPolicy: string(node.Local.Policy),
 		Preemptive:  node.Local.Preemptive,
-		Selector:    node.Local.Mechanism,
+		Selector:    string(node.Local.mechanism()),
+		Parallel:    parallel,
 	}, tasks)
 	if err != nil {
 		return nil, err
@@ -245,32 +358,5 @@ func (s *System) SimulateNode(node Node, tasks []*workload.Task) (*NodeResult, e
 	}, nil
 }
 
-// Experiments lists the registered paper experiments.
-func Experiments() []string { return exp.IDs() }
-
-// RunExperiment regenerates one paper figure/table by ID and returns the
-// rendered tables.
-func RunExperiment(id string) ([]string, error) {
-	e, err := exp.ByID(id)
-	if err != nil {
-		return nil, err
-	}
-	suite, err := exp.NewSuite()
-	if err != nil {
-		return nil, err
-	}
-	tables, err := e.Run(suite)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, len(tables))
-	for i, t := range tables {
-		out[i] = t.String()
-	}
-	return out, nil
-}
-
 // Version identifies the reproduction release.
-const Version = "1.0.0"
-
-var _ = fmt.Sprintf // keep fmt in the import set for doc examples
+const Version = "2.0.0"

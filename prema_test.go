@@ -6,9 +6,9 @@ import (
 	"time"
 )
 
-func newSystem(t *testing.T) *System {
+func newSystem(t *testing.T, opts ...Option) *System {
 	t.Helper()
-	sys, err := NewSystem(Defaults())
+	sys, err := NewSystem(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -16,10 +16,28 @@ func newSystem(t *testing.T) *System {
 }
 
 func TestNewSystemValidatesConfig(t *testing.T) {
-	opt := Defaults()
-	opt.NPU.SW = 0
-	if _, err := NewSystem(opt); err == nil {
+	bad := DefaultNPUConfig()
+	bad.SW = 0
+	if _, err := NewSystem(WithNPU(bad)); err == nil {
 		t.Error("invalid NPU config should be rejected")
+	}
+	scfg := DefaultSchedConfig()
+	scfg.Quantum = 0
+	if _, err := NewSystem(WithSchedConfig(scfg)); err == nil {
+		t.Error("non-positive quantum should be rejected")
+	}
+}
+
+func TestSystemOptions(t *testing.T) {
+	sys := newSystem(t, WithQuantum(500*time.Microsecond), WithProfileSeed(42))
+	if got := sys.SchedConfig().Quantum; got != 500*time.Microsecond {
+		t.Errorf("quantum %v, want 500µs", got)
+	}
+	cfg := DefaultNPUConfig()
+	cfg.SW, cfg.SH = 64, 64
+	sys = newSystem(t, WithNPU(cfg))
+	if got := sys.NPU().SW; got != 64 {
+		t.Errorf("systolic width %d, want 64", got)
 	}
 }
 
@@ -35,6 +53,9 @@ func TestModelsListed(t *testing.T) {
 			t.Errorf("model %s missing from zoo listing", want)
 		}
 	}
+	if len(SuiteModels()) != 8 {
+		t.Errorf("evaluation suite has %d models, want 8", len(SuiteModels()))
+	}
 }
 
 func TestWorkloadOptions(t *testing.T) {
@@ -44,6 +65,7 @@ func TestWorkloadOptions(t *testing.T) {
 		Models:        []string{"CNN-AN", "CNN-GN"},
 		BatchSizes:    []int{4},
 		ArrivalWindow: 5 * time.Millisecond,
+		Priority:      High,
 	}, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -55,9 +77,15 @@ func TestWorkloadOptions(t *testing.T) {
 		if task.Batch != 4 {
 			t.Errorf("batch %d, want 4", task.Batch)
 		}
+		if task.Priority != High {
+			t.Errorf("priority %v, want high", task.Priority)
+		}
 	}
 	if _, err := sys.Workload(WorkloadSpec{Tasks: 2, Models: []string{"NOPE"}}, 0); err == nil {
 		t.Error("unknown model in spec should error")
+	}
+	if _, err := sys.Workload(WorkloadSpec{Tasks: 2, Estimator: "psychic"}, 0); err == nil {
+		t.Error("unknown estimator in spec should error")
 	}
 }
 
@@ -67,7 +95,7 @@ func TestSimulateEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Simulate(Scheduler{Policy: "PREMA", Preemptive: true, Mechanism: "dynamic"}, tasks)
+	res, err := sys.Simulate(Scheduler{Policy: PREMA, Preemptive: true, Mechanism: Dynamic}, tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,8 +108,14 @@ func TestSimulateEndToEnd(t *testing.T) {
 	if res.MakespanCycles <= 0 {
 		t.Error("non-positive makespan")
 	}
+	if res.Wakes <= 0 {
+		t.Error("non-positive wake count")
+	}
 	if res.SLAViolationRate(1e9) != 0 {
 		t.Error("infinite SLA target should never be violated")
+	}
+	if res.ServicedPreemptions() > len(res.Preemptions) {
+		t.Error("serviced preemptions exceed events")
 	}
 	if err := res.Timeline.Validate(); err != nil {
 		t.Errorf("timeline overlaps: %v", err)
@@ -98,23 +132,37 @@ func TestSimulateDefaultsMechanism(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Preemptive with no mechanism specified defaults to dynamic.
-	if _, err := sys.Simulate(Scheduler{Policy: "SJF", Preemptive: true}, tasks); err != nil {
+	if _, err := sys.Simulate(Scheduler{Policy: SJF, Preemptive: true}, tasks); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestSimulateRejectsUnknownLabels(t *testing.T) {
+func TestInstances(t *testing.T) {
 	sys := newSystem(t)
-	tasks, err := sys.Workload(WorkloadSpec{Tasks: 2}, 5)
+	insts, err := sys.Instances(1,
+		TaskSpec{Model: "CNN-VN", Batch: 16, Priority: Low},
+		TaskSpec{Model: "RNN-MT2", Arrival: 2 * time.Millisecond},
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Simulate(Scheduler{Policy: "NOPE"}, tasks); err == nil {
-		t.Error("unknown policy should error")
+	if len(insts) != 2 {
+		t.Fatalf("built %d instances, want 2", len(insts))
 	}
-	if _, err := sys.Simulate(Scheduler{Policy: "SJF", Preemptive: true,
-		Mechanism: "bogus"}, tasks); err == nil {
-		t.Error("unknown mechanism should error")
+	if insts[0].Batch != 16 || insts[0].Priority != Low {
+		t.Errorf("spec not honored: %+v", insts[0].Task)
+	}
+	if insts[1].Priority != Medium {
+		t.Errorf("zero priority should default to medium, got %v", insts[1].Priority)
+	}
+	if insts[1].Arrival != sys.NPU().Cycles(2*time.Millisecond) {
+		t.Errorf("arrival %d cycles, want %d", insts[1].Arrival, sys.NPU().Cycles(2*time.Millisecond))
+	}
+	if insts[1].InLen <= 0 {
+		t.Error("RNN instance missing sampled input length")
+	}
+	if _, err := sys.Instances(0, TaskSpec{Model: "NOPE"}); err == nil {
+		t.Error("unknown model should error")
 	}
 }
 
@@ -129,7 +177,7 @@ func TestPREMABeatsFCFSOnWorkloadAverage(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := sys.Simulate(Scheduler{Policy: "FCFS"}, tasks)
+		a, err := sys.Simulate(Scheduler{Policy: FCFS}, tasks)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +186,7 @@ func TestPREMABeatsFCFSOnWorkloadAverage(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := sys.Simulate(Scheduler{Policy: "PREMA", Preemptive: true, Mechanism: "dynamic"}, tasks)
+		b, err := sys.Simulate(Scheduler{Policy: PREMA, Preemptive: true, Mechanism: Dynamic}, tasks)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,7 +199,7 @@ func TestPREMABeatsFCFSOnWorkloadAverage(t *testing.T) {
 
 func TestOracleWorkload(t *testing.T) {
 	sys := newSystem(t)
-	tasks, err := sys.Workload(WorkloadSpec{Tasks: 4, Oracle: true}, 6)
+	tasks, err := sys.Workload(WorkloadSpec{Tasks: 4, Estimator: "oracle"}, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,23 +210,6 @@ func TestOracleWorkload(t *testing.T) {
 	}
 }
 
-func TestExperimentRegistryExposed(t *testing.T) {
-	ids := Experiments()
-	if len(ids) < 15 {
-		t.Fatalf("only %d experiments exposed", len(ids))
-	}
-	out, err := RunExperiment("fig7")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(out) == 0 || !strings.Contains(out[0], "fig7") {
-		t.Error("experiment output empty")
-	}
-	if _, err := RunExperiment("nope"); err == nil {
-		t.Error("unknown experiment should error")
-	}
-}
-
 func TestSimulateNode(t *testing.T) {
 	sys := newSystem(t)
 	tasks, err := sys.Workload(WorkloadSpec{Tasks: 12}, 7)
@@ -186,8 +217,8 @@ func TestSimulateNode(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := sys.SimulateNode(Node{
-		NPUs: 3, Routing: "least-work",
-		Local: Scheduler{Policy: "PREMA", Preemptive: true, Mechanism: "dynamic"},
+		NPUs: 3, Routing: LeastWork,
+		Local: Scheduler{Policy: PREMA, Preemptive: true, Mechanism: Dynamic},
 	}, tasks)
 	if err != nil {
 		t.Fatal(err)
@@ -201,10 +232,6 @@ func TestSimulateNode(t *testing.T) {
 	if res.Metrics.ANTT < 1 {
 		t.Errorf("node ANTT %v below 1", res.Metrics.ANTT)
 	}
-	if _, err := sys.SimulateNode(Node{NPUs: 2, Routing: "warp-drive",
-		Local: Scheduler{Policy: "FCFS"}}, tasks); err == nil {
-		t.Error("unknown routing should error")
-	}
 }
 
 func TestSimulateNodeDefaultRouting(t *testing.T) {
@@ -214,7 +241,7 @@ func TestSimulateNodeDefaultRouting(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := sys.SimulateNode(Node{NPUs: 2,
-		Local: Scheduler{Policy: "FCFS"}}, tasks); err != nil {
+		Local: Scheduler{Policy: FCFS}}, tasks); err != nil {
 		t.Errorf("empty routing should default to round-robin: %v", err)
 	}
 }

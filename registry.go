@@ -1,0 +1,62 @@
+package prema
+
+// registry.go is the plugin surface: custom scheduling policies,
+// preemption-mechanism selectors and execution-time estimators register
+// here and then participate everywhere a builtin does — Simulate,
+// SimulateNode, sessions, the experiment suite — selected by the same
+// typed identifiers. The six paper policies and the paper's mechanism
+// configurations are pre-registered through the same internal
+// registries, so builtins and plugins are indistinguishable to the rest
+// of the system.
+
+import (
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// PolicyFactory builds one policy instance for one simulation run.
+// Factories must return a fresh instance per call: policies may keep
+// scratch state between Pick calls, so an instance must never be shared
+// by concurrently running simulations.
+type PolicyFactory func(SchedConfig) (SchedulingPolicy, error)
+
+// RegisterPolicy adds a custom scheduling policy under a label.
+// Registration is process-wide and write-once: a duplicate label is an
+// error, so a label always denotes one policy (the simulation cache
+// keys on it). The policy then works as Policy(name) in any Scheduler.
+func RegisterPolicy(name string, factory PolicyFactory) error {
+	return sched.RegisterPolicy(name, sched.PolicyFactory(factory))
+}
+
+// SelectorFactory builds one mechanism-selector instance for one
+// simulation run.
+type SelectorFactory func() (MechanismSelector, error)
+
+// RegisterSelector adds a custom preemption-mechanism selector under a
+// label; it then works as Mechanism(name) in any preemptive Scheduler.
+// Registration is process-wide and write-once.
+func RegisterSelector(name string, factory SelectorFactory) error {
+	return sched.RegisterSelector(name, sched.SelectorFactory(factory))
+}
+
+// RegisterEstimator adds a custom execution-time estimator under a
+// label; it then works as WorkloadSpec.Estimator. Estimators must be
+// pure (same inputs, same estimate) and safe for concurrent use. An
+// estimator that additionally implements interface{ CacheKey() string }
+// opts its runs into the experiment suite's simulation-result cache.
+// Registration is process-wide and write-once.
+func RegisterEstimator(name string, est Estimator) error {
+	return workload.RegisterEstimator(name, est)
+}
+
+// Policies lists the registered scheduling-policy labels in sorted
+// order (builtins plus registrations).
+func Policies() []string { return sched.PolicyNames() }
+
+// Mechanisms lists the registered preemption-mechanism labels in sorted
+// order (builtins plus registrations).
+func Mechanisms() []string { return sched.SelectorNames() }
+
+// Estimators lists the selectable estimator labels in sorted order
+// (builtins plus registrations).
+func Estimators() []string { return workload.EstimatorNames() }

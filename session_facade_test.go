@@ -1,0 +1,129 @@
+package prema
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// TestSessionStatsMatchServing proves the facade Session's incremental
+// Stats are the same numbers internal/serving's batch entry point
+// computes for the identical stream: submit the generated requests one
+// by one, reading Stats along the way, and the final statistics must be
+// float-for-float equal to Server.Run's.
+func TestSessionStatsMatchServing(t *testing.T) {
+	sys := newSystem(t)
+	spec := serving.Spec{Horizon: 300 * time.Millisecond, OfferedLoad: 0.6}
+	srv := serving.NewServer(sys.NPU(), sys.SchedConfig(), sys.gen)
+
+	want, err := srv.Run(spec, "PREMA", true, "dynamic", workload.RNGFor(21, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := sys.Open(SessionConfig{
+		Scheduler: Scheduler{Policy: PREMA, Preemptive: true, Mechanism: Dynamic},
+		Horizon:   spec.Horizon,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	stream, err := srv.Generate(spec, workload.RNGFor(21, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submit incrementally, reading stats midway to exercise the
+	// incremental path before the final comparison.
+	for i, req := range stream {
+		if err := sess.SubmitInstance(req); err != nil {
+			t.Fatal(err)
+		}
+		if i == len(stream)/2 {
+			if _, err := sess.Stats(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := sess.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Requests != want.Requests || got.Measured != want.Measured {
+		t.Errorf("counts diverge: got %d/%d, want %d/%d",
+			got.Requests, got.Measured, want.Requests, want.Measured)
+	}
+	floats := [][2]float64{
+		{got.ThroughputPerSec, want.ThroughputPerSec},
+		{got.MeanLatencyMS, want.MeanLatencyMS},
+		{got.P50LatencyMS, want.P50LatencyMS},
+		{got.P95LatencyMS, want.P95LatencyMS},
+		{got.P99LatencyMS, want.P99LatencyMS},
+		{got.MeanNTT, want.MeanNTT},
+		{got.SLAViolations4x, want.SLAViolations4x},
+	}
+	for i, pair := range floats {
+		if pair[0] != pair[1] {
+			t.Errorf("stat %d diverges: session %v, batch %v", i, pair[0], pair[1])
+		}
+	}
+}
+
+// TestSessionOpenLoop drives the facade's open-loop arrival process and
+// the request-level Submit surface.
+func TestSessionOpenLoop(t *testing.T) {
+	sys := newSystem(t)
+	sess, err := sys.Open(SessionConfig{
+		Scheduler: Scheduler{Policy: PREMA, Preemptive: true},
+		Window:    2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	n, err := sess.OfferLoad(0.5, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || sess.Pending() != n {
+		t.Fatalf("offered %d, pending %d", n, sess.Pending())
+	}
+	if err := sess.Submit(Request{Model: "CNN-VN", Batch: 4, Priority: High,
+		Arrival: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(Request{Model: "RNN-MT1",
+		Arrival: 12 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != n+2 {
+		t.Errorf("stats cover %d requests, want %d", st.Requests, n+2)
+	}
+	if st.ThroughputPerSec <= 0 || st.P99LatencyMS < st.P50LatencyMS {
+		t.Errorf("implausible stats: %+v", st)
+	}
+	if _, err := sess.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Submit(Request{Model: "CNN-AN"}); err == nil {
+		t.Error("submit after drain should error")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Stats(); err == nil {
+		t.Error("stats after close should error")
+	}
+	if _, err := sess.OfferLoad(0.5, time.Second); err == nil {
+		t.Error("offer after close should error")
+	}
+}

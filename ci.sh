@@ -17,6 +17,11 @@ go vet ./...
 go build ./...
 go test ./...
 
+# The streaming node-session paths (per-NPU session backends, the
+# shared router, closed-loop injection) are concurrency-sensitive:
+# race-check them on every run.
+go test -race ./internal/serving/... ./internal/cluster/...
+
 # The examples are the public-API consumers: every one must build and
 # run to completion against the current facade.
 for ex in examples/*/; do
@@ -29,6 +34,7 @@ done
 echo "smoke: cmd/premasim"
 go run ./cmd/premasim -policy PREMA -preemptive -tasks 4 -timeline=false >/dev/null
 go run ./cmd/premasim -npus 2 -routing least-work -policy FCFS -tasks 6 >/dev/null
+go run ./cmd/premasim -npus 2 -routing least-queued -policy PREMA -preemptive -clients 4 -think 2ms -serve-horizon 150ms >/dev/null
 echo "smoke: cmd/premazoo"
 go run ./cmd/premazoo -config >/dev/null
 echo "smoke: cmd/premapredict"

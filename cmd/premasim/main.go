@@ -38,6 +38,12 @@ func main() {
 			"cluster routing policy: round-robin|least-queued|least-work")
 		parallel = flag.Int("parallel", 0,
 			"concurrent per-NPU simulations in the cluster path (0 = GOMAXPROCS, 1 = sequential; results identical)")
+		clients = flag.Int("clients", 0,
+			"closed-loop client population (>0 switches to the streaming node session: each client keeps one request in flight)")
+		think = flag.Duration("think", 2*time.Millisecond,
+			"mean exponential think time between a completion and the same client's next request")
+		serveHorizon = flag.Duration("serve-horizon", 250*time.Millisecond,
+			"closed-loop serving horizon (no request is released at or after it)")
 	)
 	flag.Parse()
 
@@ -65,6 +71,18 @@ func main() {
 	}
 	if err := sched.Validate(); err != nil {
 		fatal(err)
+	}
+
+	if *clients > 0 {
+		route, err := prema.ParseRouting(*routing)
+		if err != nil {
+			fatal(err)
+		}
+		runClosedLoop(sys, prema.NodeSessionConfig{
+			NPUs: *npus, Routing: route, Scheduler: sched,
+			Horizon: *serveHorizon, Seed: uint64(*seed),
+		}, *clients, *think, *serveHorizon)
+		return
 	}
 
 	spec := prema.WorkloadSpec{
@@ -123,6 +141,40 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Timeline.Render(cfg, 100))
 	}
+}
+
+// runClosedLoop drives the streaming node session under a closed-loop
+// client population and prints per-NPU plus aggregate statistics.
+func runClosedLoop(sys *prema.System, cfg prema.NodeSessionConfig,
+	clients int, think, horizon time.Duration) {
+
+	ns, err := sys.OpenNode(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer ns.Close()
+	n, err := ns.OfferClients(clients, think, horizon)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := ns.Drain()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("node: %d NPUs, %s routing, local %s (preemptive=%v)\n",
+		cfg.NPUs, cfg.Routing, cfg.Scheduler.Policy, cfg.Scheduler.Preemptive)
+	fmt.Printf("closed loop: %d clients, %v think, %v horizon, %d requests realized\n\n",
+		clients, think, horizon, n)
+	fmt.Printf("%-5s %-9s %10s %10s %10s %10s %10s\n",
+		"NPU", "requests", "req/s", "mean(ms)", "p50(ms)", "p99(ms)", "SLA@4x")
+	for i, per := range st.PerNPU {
+		fmt.Printf("%-5d %-9d %10.0f %10.2f %10.2f %10.2f %9.0f%%\n",
+			i, per.Requests, per.ThroughputPerSec, per.MeanLatencyMS,
+			per.P50LatencyMS, per.P99LatencyMS, per.SLAViolations4x*100)
+	}
+	fmt.Printf("%-5s %-9d %10.0f %10.2f %10.2f %10.2f %9.0f%%\n",
+		"node", st.Requests, st.ThroughputPerSec, st.MeanLatencyMS,
+		st.P50LatencyMS, st.P99LatencyMS, st.SLAViolations4x*100)
 }
 
 // runNode drives the multi-NPU node path.

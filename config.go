@@ -145,6 +145,11 @@ func ParseRouting(s string) (Routing, error) {
 	return r, nil
 }
 
+// Routings lists the cluster routing policies.
+func Routings() []Routing {
+	return []Routing{RoundRobin, LeastQueued, LeastWork}
+}
+
 // toCluster maps the identifier onto the internal routing policy.
 func (r Routing) toCluster() (cluster.RoutingPolicy, error) {
 	switch r {

@@ -95,12 +95,16 @@ type NPUStats struct {
 }
 
 // Route assigns tasks (sorted internally by arrival) to NPUs per the
-// routing policy, using a fluid backlog model: each NPU's queue is
-// approximated by the serial completion time of the work already routed
-// to it. Returns one task list per NPU.
+// routing policy, driving the incremental Router over the whole stream.
+// Returns one task list per NPU. The streaming node session makes the
+// identical decisions request-by-request through the same Router.
 func Route(opt Options, tasks []*workload.Task) ([][]*workload.Task, error) {
 	if opt.NPUs <= 0 {
 		return nil, fmt.Errorf("cluster: non-positive NPU count %d", opt.NPUs)
+	}
+	router, err := NewRouter(opt.Routing)
+	if err != nil {
+		return nil, err
 	}
 	ordered := append([]*workload.Task(nil), tasks...)
 	sort.Slice(ordered, func(i, j int) bool {
@@ -111,51 +115,11 @@ func Route(opt Options, tasks []*workload.Task) ([][]*workload.Task, error) {
 	})
 
 	buckets := make([][]*workload.Task, opt.NPUs)
-	freeAt := make([]int64, opt.NPUs)   // fluid completion horizon
-	queued := make([][]int64, opt.NPUs) // completion horizons per routed task
-	rr := 0
+	st := NewState(opt.NPUs)
 	for _, t := range ordered {
-		var target int
-		switch opt.Routing {
-		case RoundRobin:
-			target = rr % opt.NPUs
-			rr++
-		case LeastQueued:
-			best, bestN := 0, int(1<<30)
-			for i := range queued {
-				n := 0
-				for _, done := range queued[i] {
-					if done > t.Arrival {
-						n++
-					}
-				}
-				if n < bestN {
-					best, bestN = i, n
-				}
-			}
-			target = best
-		case LeastWork:
-			best, bestWork := 0, int64(1<<62)
-			for i := range freeAt {
-				backlog := freeAt[i] - t.Arrival
-				if backlog < 0 {
-					backlog = 0
-				}
-				if backlog < bestWork {
-					best, bestWork = i, backlog
-				}
-			}
-			target = best
-		default:
-			return nil, fmt.Errorf("cluster: unknown routing policy %d", int(opt.Routing))
-		}
+		target := router.Decide(t, st)
 		buckets[target] = append(buckets[target], t)
-		start := freeAt[target]
-		if t.Arrival > start {
-			start = t.Arrival
-		}
-		freeAt[target] = start + t.EstimatedCycles
-		queued[target] = append(queued[target], freeAt[target])
+		st.Commit(target, t)
 	}
 	return buckets, nil
 }

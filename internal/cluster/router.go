@@ -1,0 +1,154 @@
+package cluster
+
+// router.go extracts the routing decision out of the batch Route loop
+// into an incremental Router so the batch path (Route/Run) and the
+// streaming node-session path (internal/serving.NodeSession) share one
+// routing implementation. A Router sees one arriving request at a time
+// plus the node's fluid State and picks the target NPU; the caller
+// commits the decision, advancing the fluid backlog model. Because both
+// paths drive the identical Router over the identical State, a streamed
+// request sequence lands on exactly the NPUs the batch router would have
+// chosen (node_test.go in internal/serving locks this in byte-for-byte).
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Router makes one incremental routing decision per arriving request.
+// Decide must be called in nondecreasing arrival order (the State's
+// fluid horizons drain destructively), and every decision must be
+// committed with State.Commit before the next Decide.
+type Router interface {
+	// Decide selects the target NPU for the arriving task given the
+	// router's fluid view of the node.
+	Decide(t *workload.Task, st *State) int
+}
+
+// NewRouter returns a fresh router instance for the policy. Router
+// instances keep per-stream scratch state (e.g. the round-robin cursor),
+// so each request stream needs its own instance.
+func NewRouter(p RoutingPolicy) (Router, error) {
+	switch p {
+	case RoundRobin:
+		return &roundRobinRouter{}, nil
+	case LeastQueued:
+		return leastQueuedRouter{}, nil
+	case LeastWork:
+		return leastWorkRouter{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown routing policy %d", int(p))
+	}
+}
+
+// State is the router's fluid view of the node: each NPU's queue is
+// approximated by the serial completion horizon of the work already
+// routed to it (estimated cycles, the same Algorithm 1 estimates the
+// NPU-local schedulers consume).
+type State struct {
+	// freeAt is the fluid completion horizon per NPU.
+	freeAt []int64
+	// horizons holds the per-request completion horizons still queued on
+	// each NPU. freeAt is nondecreasing per NPU, so each slice is sorted
+	// ascending and draining is a head-cursor advance: the LeastQueued
+	// in-flight count is O(1) amortized per arrival instead of rescanning
+	// every previously routed request (which made Route O(n²) across the
+	// stream).
+	horizons [][]int64
+	heads    []int
+}
+
+// NewState returns the fluid state of an idle node with the given NPU
+// count.
+func NewState(npus int) *State {
+	return &State{
+		freeAt:   make([]int64, npus),
+		horizons: make([][]int64, npus),
+		heads:    make([]int, npus),
+	}
+}
+
+// NPUs reports the node size.
+func (s *State) NPUs() int { return len(s.freeAt) }
+
+// InFlight counts the requests routed to NPU i whose fluid completion
+// horizon has not drained by cycle now. now must be nondecreasing across
+// calls: drained horizons are pruned and never rescanned.
+func (s *State) InFlight(i int, now int64) int {
+	h := s.horizons[i]
+	head := s.heads[i]
+	for head < len(h) && h[head] <= now {
+		head++
+	}
+	// Compact once the drained prefix dominates, so a long-lived
+	// streaming session does not hold every horizon it ever routed.
+	if head > 64 && head*2 >= len(h) {
+		n := copy(h, h[head:])
+		s.horizons[i] = h[:n]
+		head = 0
+	}
+	s.heads[i] = head
+	return len(s.horizons[i]) - head
+}
+
+// Backlog reports NPU i's estimated queued work at cycle now, in cycles.
+func (s *State) Backlog(i int, now int64) int64 {
+	b := s.freeAt[i] - now
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+// Commit records a routing decision, advancing the target NPU's fluid
+// horizon by the request's estimated service time.
+func (s *State) Commit(target int, t *workload.Task) {
+	start := s.freeAt[target]
+	if t.Arrival > start {
+		start = t.Arrival
+	}
+	s.freeAt[target] = start + t.EstimatedCycles
+	s.horizons[target] = append(s.horizons[target], s.freeAt[target])
+}
+
+// roundRobinRouter cycles through the NPUs in dispatch order.
+type roundRobinRouter struct {
+	next int
+}
+
+func (r *roundRobinRouter) Decide(_ *workload.Task, st *State) int {
+	target := r.next % st.NPUs()
+	r.next++
+	return target
+}
+
+// leastQueuedRouter routes to the NPU with the fewest requests whose
+// (estimated) work has not yet drained at the arrival instant. Ties go
+// to the lowest NPU index.
+type leastQueuedRouter struct{}
+
+func (leastQueuedRouter) Decide(t *workload.Task, st *State) int {
+	best, bestN := 0, int(1<<30)
+	for i := 0; i < st.NPUs(); i++ {
+		if n := st.InFlight(i, t.Arrival); n < bestN {
+			best, bestN = i, n
+		}
+	}
+	return best
+}
+
+// leastWorkRouter routes to the NPU with the least estimated backlog in
+// cycles — the predictive router built on Algorithm 1's estimates. Ties
+// go to the lowest NPU index.
+type leastWorkRouter struct{}
+
+func (leastWorkRouter) Decide(t *workload.Task, st *State) int {
+	best, bestWork := 0, int64(1<<62)
+	for i := 0; i < st.NPUs(); i++ {
+		if w := st.Backlog(i, t.Arrival); w < bestWork {
+			best, bestWork = i, w
+		}
+	}
+	return best
+}

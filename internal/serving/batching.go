@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/sched"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -168,55 +167,37 @@ func groupRequests(requests []*workload.Task, windowCycles int64, maxBatch int,
 	return nil
 }
 
-// memberStats computes per-request (member) statistics of a completed
-// batched run: latency is measured from each original request's arrival
-// to its fused task's completion, and normalized turnaround uses the
-// request's batch-1 isolated time. Requests arriving before cut are
-// excluded from latency statistics.
-func (s *Server) memberStats(res *sim.Result, members map[int][]memberRequest, cut int64) (BatchStats, error) {
-	var latencies, ntts []float64
-	var totalMembers, cnnBatches, cnnMembers int
-	out := BatchStats{Dispatched: len(res.Tasks)}
-	var violated, measuredMembers int
+// collectMembers builds the per-request (member) sample set of a
+// completed batched run: latency is measured from each original
+// request's arrival to its fused task's completion, and normalized
+// turnaround uses the request's batch-1 isolated time. Requests arriving
+// before cut are excluded from the measured samples.
+func (s *Server) collectMembers(res *sim.Result, members map[int][]memberRequest, cut int64) sampleSet {
+	sm := sampleSet{dispatched: len(res.Tasks), makespan: res.Cycles}
 	for _, task := range res.Tasks {
 		ms := members[task.ID]
-		totalMembers += len(ms)
+		sm.requests += len(ms)
 		if task.Batch > 1 || len(ms) > 1 {
-			cnnBatches++
-			cnnMembers += len(ms)
+			sm.cnnBatches++
+			sm.cnnMembers += len(ms)
 		}
 		for _, m := range ms {
 			if m.arrival < cut {
 				continue
 			}
-			measuredMembers++
 			lat := task.Completion - m.arrival
-			latencies = append(latencies, s.cfg.Millis(lat))
+			sm.latencies = append(sm.latencies, s.cfg.Millis(lat))
 			ntt := float64(lat) / float64(m.isolated)
-			ntts = append(ntts, ntt)
+			sm.ntts = append(sm.ntts, ntt)
 			if ntt > 4 {
-				violated++
+				sm.violated++
 			}
 		}
 	}
-	out.Requests = totalMembers
-	out.Measured = len(latencies)
-	if out.Measured == 0 {
-		return BatchStats{}, fmt.Errorf("serving: no requests survive the warm-up window")
-	}
-	out.MeanLatencyMS = stats.Mean(latencies)
-	out.P50LatencyMS = stats.Percentile(latencies, 50)
-	out.P95LatencyMS = stats.Percentile(latencies, 95)
-	out.P99LatencyMS = stats.Percentile(latencies, 99)
-	out.MeanNTT = stats.Mean(ntts)
-	out.SLAViolations4x = float64(violated) / float64(measuredMembers)
-	if sec := s.cfg.Seconds(res.Cycles); sec > 0 {
-		out.ThroughputPerSec = float64(totalMembers) / sec
-	}
-	if cnnBatches > 0 {
-		out.MeanBatch = float64(cnnMembers) / float64(cnnBatches)
-	} else {
-		out.MeanBatch = 1
-	}
-	return out, nil
+	return sm
+}
+
+// memberStats derives per-request statistics from a batched run.
+func (s *Server) memberStats(res *sim.Result, members map[int][]memberRequest, cut int64) (BatchStats, error) {
+	return s.statsOf(s.collectMembers(res, members, cut))
 }

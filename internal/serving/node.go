@@ -1,0 +1,277 @@
+package serving
+
+// node.go lifts the streaming Session from one NPU to a multi-NPU
+// system node — the deployment the paper scopes out as future work
+// (Section II-C), as a long-lived endpoint instead of the batch
+// cluster.Run. A NodeSession drives the cluster package's incremental
+// Router over its fluid State: every submitted or offered request is
+// routed the moment it arrives and lands in that NPU's local Session
+// backend, which keeps its own scheduler, batching window and
+// incremental statistics. Because the batch Route loop drives the
+// identical Router, a streamed request sequence lands on exactly the
+// NPUs the batch router would have chosen (node_test.go proves the
+// buckets byte-identical).
+//
+// Closed-loop clients (OfferClients) pin to an NPU round-robin — the
+// affinity real load balancers give session-sticky traffic — because a
+// closed loop couples each arrival to the completion of the same
+// client's previous request on its serving NPU. The fluid router state
+// keeps balancing the open-loop and submitted traffic around that
+// pinned load.
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// NodeConfig parameterizes a streaming multi-NPU node session.
+type NodeConfig struct {
+	// NPUs is the accelerator count in the node (>= 1).
+	NPUs int
+	// Routing selects the router policy dispatching requests to NPUs.
+	Routing cluster.RoutingPolicy
+	// Session is the per-NPU local configuration: every backend runs
+	// this scheduler, batching window and warm-up cut.
+	Session SessionConfig
+}
+
+// NodeStats aggregates a node session's stream: node-wide steady-state
+// statistics over the union of every NPU's measured requests, plus each
+// NPU's own view. The node's throughput window is the slowest NPU's
+// makespan.
+type NodeStats struct {
+	BatchStats
+	// PerNPU holds each backend's statistics over its routed share. An
+	// NPU that served nothing (or whose requests all fell inside the
+	// warm-up window) reports a zero entry with only Requests and
+	// Dispatched set.
+	PerNPU []BatchStats
+}
+
+// NodeSession is an open node-level serving endpoint: one streaming
+// router in front of per-NPU Session backends. A NodeSession is not
+// safe for concurrent use.
+type NodeSession struct {
+	srv      *Server
+	router   cluster.Router
+	state    *cluster.State
+	backends []*Session
+
+	lastArrival int64
+	submitted   int
+	clientNext  int // round-robin cursor for closed-loop client affinity
+	drained     bool
+	closed      bool
+
+	// last memoizes the node statistics computed at statsAt submissions,
+	// so polling Stats on an unchanged node re-derives nothing.
+	last       NodeStats
+	statsAt    int
+	statsValid bool
+}
+
+// OpenNode validates the configuration and opens a node session with
+// one Session backend per NPU.
+func (s *Server) OpenNode(cfg NodeConfig) (*NodeSession, error) {
+	if cfg.NPUs <= 0 {
+		return nil, fmt.Errorf("serving: non-positive NPU count %d", cfg.NPUs)
+	}
+	router, err := cluster.NewRouter(cfg.Routing)
+	if err != nil {
+		return nil, err
+	}
+	backends := make([]*Session, cfg.NPUs)
+	for i := range backends {
+		if backends[i], err = s.Open(cfg.Session); err != nil {
+			return nil, err
+		}
+	}
+	return &NodeSession{
+		srv:      s,
+		router:   router,
+		state:    cluster.NewState(cfg.NPUs),
+		backends: backends,
+	}, nil
+}
+
+// NPUs reports the node size.
+func (ns *NodeSession) NPUs() int { return len(ns.backends) }
+
+// Submit routes one request through the node's router and appends it to
+// the chosen NPU's stream. Routing is incremental, so requests must be
+// submitted in nondecreasing arrival order (the fluid router state
+// drains destructively); generated streams (Offer) arrive ordered by
+// construction.
+func (ns *NodeSession) Submit(t *workload.Task) error {
+	if ns.closed {
+		return fmt.Errorf("serving: node session closed")
+	}
+	if ns.drained {
+		return fmt.Errorf("serving: node session drained; no further submissions")
+	}
+	if t == nil || t.Program == nil {
+		return fmt.Errorf("serving: nil request")
+	}
+	if t.Arrival < ns.lastArrival {
+		return fmt.Errorf("serving: node routing is incremental; submit in nondecreasing arrival order (arrival %d after %d)",
+			t.Arrival, ns.lastArrival)
+	}
+	target := ns.router.Decide(t, ns.state)
+	if err := ns.backends[target].Submit(t); err != nil {
+		return err
+	}
+	ns.state.Commit(target, t)
+	ns.lastArrival = t.Arrival
+	ns.submitted++
+	return nil
+}
+
+// Offer drives the node's open-loop arrival process: one Poisson stream
+// for the spec (OfferedLoad is normalized to a single NPU's capacity, so
+// a node of N NPUs saturates near load N), routed request-by-request
+// through the node's router. It returns how many requests arrived.
+func (ns *NodeSession) Offer(spec Spec, rng *rand.Rand) (int, error) {
+	if ns.closed {
+		return 0, fmt.Errorf("serving: node session closed")
+	}
+	if ns.drained {
+		return 0, fmt.Errorf("serving: node session drained; no further submissions")
+	}
+	tasks, err := ns.srv.Generate(spec, rng)
+	if err != nil {
+		return 0, err
+	}
+	for _, t := range tasks {
+		if err := ns.Submit(t); err != nil {
+			return 0, err
+		}
+	}
+	return len(tasks), nil
+}
+
+// OfferClients spreads a closed-loop client population across the
+// node's NPUs with round-robin affinity: client c pins to NPU
+// (cursor+c) mod NPUs and runs its closed loop against that backend
+// (see Session.OfferClients). Pinned closed-loop traffic is invisible
+// to the fluid router state — the router keeps balancing the open-loop
+// and submitted streams. It returns how many requests were realized
+// across all NPUs.
+func (ns *NodeSession) OfferClients(spec ClientSpec, rng *rand.Rand) (int, error) {
+	if ns.closed {
+		return 0, fmt.Errorf("serving: node session closed")
+	}
+	if ns.drained {
+		return 0, fmt.Errorf("serving: node session drained; no further submissions")
+	}
+	if spec.Clients <= 0 {
+		return 0, fmt.Errorf("serving: non-positive client count %d", spec.Clients)
+	}
+	perNPU := make([]int, len(ns.backends))
+	for c := 0; c < spec.Clients; c++ {
+		perNPU[ns.clientNext%len(ns.backends)]++
+		ns.clientNext++
+	}
+	total := 0
+	for i, clients := range perNPU {
+		if clients == 0 {
+			continue
+		}
+		sub := spec
+		sub.Clients = clients
+		n, err := ns.backends[i].OfferClients(sub, rng)
+		if err != nil {
+			return total, fmt.Errorf("serving: NPU %d: %w", i, err)
+		}
+		total += n
+		ns.submitted += n
+	}
+	return total, nil
+}
+
+// Pending reports how many requests have been submitted node-wide.
+func (ns *NodeSession) Pending() int { return ns.submitted }
+
+// Routed reports how many requests each NPU's backend holds.
+func (ns *NodeSession) Routed() []int {
+	out := make([]int, len(ns.backends))
+	for i, b := range ns.backends {
+		out[i] = len(b.reqs)
+	}
+	return out
+}
+
+// Stats computes the node's steady-state statistics: per-NPU views plus
+// the aggregate over the union of measured requests. Statistics are
+// incremental — each backend re-simulates only if its stream changed.
+func (ns *NodeSession) Stats() (NodeStats, error) {
+	if ns.closed {
+		return NodeStats{}, fmt.Errorf("serving: node session closed")
+	}
+	if ns.submitted == 0 {
+		return NodeStats{}, fmt.Errorf("serving: no requests submitted")
+	}
+	if ns.statsValid && ns.statsAt == ns.submitted {
+		return ns.last, nil
+	}
+	out := NodeStats{PerNPU: make([]BatchStats, len(ns.backends))}
+	var merged sampleSet
+	for i, b := range ns.backends {
+		if len(b.reqs) == 0 {
+			continue
+		}
+		if err := b.refresh(); err != nil {
+			return NodeStats{}, fmt.Errorf("serving: NPU %d: %w", i, err)
+		}
+		merged.merge(b.samples)
+		// The backend memoizes its derived statistics; only re-simulated
+		// NPUs re-derive them.
+		if st, err := b.Stats(); err == nil {
+			out.PerNPU[i] = st
+		} else {
+			// All of this NPU's requests fell inside the warm-up window:
+			// they still count toward the aggregate's request totals.
+			out.PerNPU[i].Requests = b.samples.requests
+			out.PerNPU[i].Dispatched = b.samples.dispatched
+		}
+	}
+	agg, err := ns.srv.statsOf(merged)
+	if err != nil {
+		return NodeStats{}, err
+	}
+	out.BatchStats = agg
+	ns.last = out
+	ns.statsAt = ns.submitted
+	ns.statsValid = true
+	return out, nil
+}
+
+// Drain computes the final statistics and seals the node session (and
+// every backend) against further submissions. Stats remains callable
+// until Close.
+func (ns *NodeSession) Drain() (NodeStats, error) {
+	st, err := ns.Stats()
+	if err != nil {
+		return NodeStats{}, err
+	}
+	ns.drained = true
+	for _, b := range ns.backends {
+		b.drained = true
+	}
+	return st, nil
+}
+
+// Close seals the node session and every backend; subsequent calls
+// error. Close is idempotent.
+func (ns *NodeSession) Close() error {
+	ns.closed = true
+	ns.drained = true
+	for _, b := range ns.backends {
+		if err := b.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

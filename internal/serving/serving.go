@@ -14,7 +14,6 @@ import (
 	"math/rand/v2"
 	"time"
 
-	"repro/internal/metrics"
 	"repro/internal/npu"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -148,6 +147,14 @@ func defaultSuite() []string {
 // one simulation over the given tasks.
 func (s *Server) simulate(policy string, preemptive bool, selector string,
 	tasks []*workload.Task) (*sim.Result, error) {
+	return s.simulateHook(policy, preemptive, selector, workload.SchedTasks(tasks), nil)
+}
+
+// simulateHook is simulate with the closed-loop completion hook wired
+// through: onComplete may inject newly released requests (see
+// sim.Options.OnComplete).
+func (s *Server) simulateHook(policy string, preemptive bool, selector string,
+	entries []*sched.Task, onComplete func(*sched.Task, int64) []*sched.Task) (*sim.Result, error) {
 
 	pol, err := sched.ByName(policy, s.scfg)
 	if err != nil {
@@ -165,45 +172,118 @@ func (s *Server) simulate(policy string, preemptive bool, selector string,
 	simulator, err := sim.New(sim.Options{
 		NPU: s.cfg, Sched: s.scfg,
 		Policy: pol, Preemptive: preemptive, Selector: sel,
-	}, workload.SchedTasks(tasks))
+		OnComplete: onComplete,
+	}, entries)
 	if err != nil {
 		return nil, err
 	}
 	return simulator.Run()
 }
 
-// steadyStats computes the steady-state statistics of a completed run,
-// excluding requests that arrived before cut.
-func (s *Server) steadyStats(res *sim.Result, cut int64) (Stats, error) {
-	out := Stats{Requests: len(res.Tasks)}
-	var latencies, ntts []float64
-	var measured []*sched.Task
+// sampleSet is the raw measured material one simulation yields, kept
+// sample-by-sample (rather than pre-aggregated) so the node session can
+// merge per-NPU sets before deriving percentiles — a percentile of a
+// union is not derivable from per-NPU percentiles.
+type sampleSet struct {
+	// requests were admitted and completed (members, on batched runs);
+	// dispatched counts NPU tasks after coalescing.
+	requests, dispatched int
+	// latencies (ms) and ntts hold one entry per measured request, i.e.
+	// per request arriving at or after the warm-up cut.
+	latencies, ntts []float64
+	// violated counts measured requests breaking the 4x-isolated SLA.
+	violated int
+	// makespan is the run's completion cycle.
+	makespan int64
+	// cnnBatches/cnnMembers feed the MeanBatch counter.
+	cnnBatches, cnnMembers int
+}
+
+// merge folds other sample sets into one node-level set. Latency samples
+// concatenate in argument order (percentiles sort internally, so order
+// only pins determinism); the node's makespan is the slowest NPU's.
+func (m *sampleSet) merge(parts ...sampleSet) {
+	for _, p := range parts {
+		m.requests += p.requests
+		m.dispatched += p.dispatched
+		m.latencies = append(m.latencies, p.latencies...)
+		m.ntts = append(m.ntts, p.ntts...)
+		m.violated += p.violated
+		if p.makespan > m.makespan {
+			m.makespan = p.makespan
+		}
+		m.cnnBatches += p.cnnBatches
+		m.cnnMembers += p.cnnMembers
+	}
+}
+
+// collectTasks builds the sample set of an unbatched run: one request
+// per completed task, excluding arrivals before cut.
+func (s *Server) collectTasks(res *sim.Result, cut int64) sampleSet {
+	sm := sampleSet{
+		requests:   len(res.Tasks),
+		dispatched: len(res.Tasks),
+		makespan:   res.Cycles,
+	}
 	for _, t := range res.Tasks {
 		if t.Arrival < cut {
 			continue
 		}
-		measured = append(measured, t)
-		latencies = append(latencies, s.cfg.Millis(t.Turnaround()))
-		ntts = append(ntts, t.NTT())
+		sm.latencies = append(sm.latencies, s.cfg.Millis(t.Turnaround()))
+		sm.ntts = append(sm.ntts, t.NTT())
+		if t.NTT() > 4 {
+			sm.violated++
+		}
 	}
-	out.Measured = len(measured)
+	return sm
+}
+
+// guardPercentile makes the small-sample degradation uniform: any
+// percentile that could not be computed falls back to the next coarser
+// statistic instead of leaking NaN into reports (P99 -> P95 -> P50 ->
+// mean). With a non-empty measured set the percentiles are always
+// finite, but a merged or hand-built sample set keeps the same contract.
+func guardPercentile(p, fallback float64) float64 {
+	if math.IsNaN(p) {
+		return fallback
+	}
+	return p
+}
+
+// statsOf derives the steady-state statistics from a sample set. It is
+// the single aggregation point shared by the batch entry points, the
+// session memo, and the node session's per-NPU and merged views.
+func (s *Server) statsOf(sm sampleSet) (BatchStats, error) {
+	out := BatchStats{Stats: Stats{Requests: sm.requests}, Dispatched: sm.dispatched}
+	out.Measured = len(sm.latencies)
 	if out.Measured == 0 {
-		return Stats{}, fmt.Errorf("serving: no requests survive the warm-up window")
+		return BatchStats{}, fmt.Errorf("serving: no requests survive the warm-up window")
 	}
-	out.MeanLatencyMS = stats.Mean(latencies)
-	out.P50LatencyMS = stats.Percentile(latencies, 50)
-	out.P95LatencyMS = stats.Percentile(latencies, 95)
-	out.P99LatencyMS = stats.Percentile(latencies, 99)
-	out.MeanNTT = stats.Mean(ntts)
-	out.SLAViolations4x = metrics.SLAViolationRate(measured, 4)
-	makespanSec := s.cfg.Seconds(res.Cycles)
-	if makespanSec > 0 {
-		out.ThroughputPerSec = float64(len(res.Tasks)) / makespanSec
+	out.MeanLatencyMS = stats.Mean(sm.latencies)
+	out.P50LatencyMS = guardPercentile(stats.Percentile(sm.latencies, 50), out.MeanLatencyMS)
+	out.P95LatencyMS = guardPercentile(stats.Percentile(sm.latencies, 95), out.P50LatencyMS)
+	out.P99LatencyMS = guardPercentile(stats.Percentile(sm.latencies, 99), out.P95LatencyMS)
+	out.MeanNTT = stats.Mean(sm.ntts)
+	out.SLAViolations4x = float64(sm.violated) / float64(out.Measured)
+	if sec := s.cfg.Seconds(sm.makespan); sec > 0 {
+		out.ThroughputPerSec = float64(sm.requests) / sec
 	}
-	if math.IsNaN(out.P99LatencyMS) {
-		out.P99LatencyMS = out.P95LatencyMS
+	if sm.cnnBatches > 0 {
+		out.MeanBatch = float64(sm.cnnMembers) / float64(sm.cnnBatches)
+	} else {
+		out.MeanBatch = 1
 	}
 	return out, nil
+}
+
+// steadyStats computes the steady-state statistics of a completed run,
+// excluding requests that arrived before cut.
+func (s *Server) steadyStats(res *sim.Result, cut int64) (Stats, error) {
+	st, err := s.statsOf(s.collectTasks(res, cut))
+	if err != nil {
+		return Stats{}, err
+	}
+	return st.Stats, nil
 }
 
 // warmupFraction resolves the warm-up fraction default (0.2).

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -122,5 +123,89 @@ func TestRunRejectsUnknownPolicy(t *testing.T) {
 	}
 	if _, err := s.Run(spec, "SJF", true, "bogus", workload.RNGFor(6, 6)); err == nil {
 		t.Error("unknown selector should error")
+	}
+}
+
+// TestStatsSmallSamplePath covers the uniform percentile guard: with a
+// single measured request every percentile collapses to that sample (no
+// NaN leaks into any field), with zero measured requests statsOf errors,
+// and a hand-built degenerate set falls back along P99 -> P95 -> P50 ->
+// mean instead of reporting NaN anywhere.
+func TestStatsSmallSamplePath(t *testing.T) {
+	s := newServer(t)
+
+	// One measured sample: every percentile equals it.
+	one := sampleSet{requests: 3, dispatched: 3, latencies: []float64{7.5},
+		ntts: []float64{2.0}, makespan: 1 << 20}
+	st, err := s.statsOf(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"mean": st.MeanLatencyMS, "p50": st.P50LatencyMS,
+		"p95": st.P95LatencyMS, "p99": st.P99LatencyMS,
+	} {
+		if v != 7.5 {
+			t.Errorf("single-sample %s = %v, want 7.5", name, v)
+		}
+	}
+	if math.IsNaN(st.SLAViolations4x) || st.SLAViolations4x != 0 {
+		t.Errorf("single-sample SLA violations = %v, want 0", st.SLAViolations4x)
+	}
+
+	// No measured samples: an error, never NaN-laden statistics.
+	if _, err := s.statsOf(sampleSet{requests: 2, dispatched: 2}); err == nil {
+		t.Error("empty measured set should error")
+	}
+
+	// The guard chain itself: each level falls back to the next coarser
+	// statistic.
+	if got := guardPercentile(math.NaN(), 4.2); got != 4.2 {
+		t.Errorf("guardPercentile(NaN) = %v, want fallback 4.2", got)
+	}
+	if got := guardPercentile(9.9, 4.2); got != 9.9 {
+		t.Errorf("guardPercentile(9.9) = %v, want 9.9", got)
+	}
+}
+
+// TestSteadyStatsTinyWarmupSurvivors drives the small-sample path end to
+// end: a warm-up cut that leaves very few measured requests must still
+// produce finite, ordered percentiles.
+func TestSteadyStatsTinyWarmupSurvivors(t *testing.T) {
+	s := newServer(t)
+	tasks, err := s.Generate(Spec{Horizon: 120 * time.Millisecond, OfferedLoad: 0.4},
+		workload.RNGFor(21, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.simulate("FCFS", false, "", tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut just below the latest arrival: exactly the stragglers survive.
+	var latest int64
+	for _, task := range res.Tasks {
+		if task.Arrival > latest {
+			latest = task.Arrival
+		}
+	}
+	st, err := s.steadyStats(res, latest) // the last arrival alone survives
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Measured < 1 || st.Measured > 3 {
+		t.Fatalf("expected a tiny survivor set, got %d", st.Measured)
+	}
+	for name, v := range map[string]float64{
+		"mean": st.MeanLatencyMS, "p50": st.P50LatencyMS,
+		"p95": st.P95LatencyMS, "p99": st.P99LatencyMS,
+	} {
+		if math.IsNaN(v) || v <= 0 {
+			t.Errorf("tiny-sample %s = %v, want finite positive", name, v)
+		}
+	}
+	if st.P50LatencyMS > st.P95LatencyMS || st.P95LatencyMS > st.P99LatencyMS {
+		t.Errorf("percentiles out of order: p50=%v p95=%v p99=%v",
+			st.P50LatencyMS, st.P95LatencyMS, st.P99LatencyMS)
 	}
 }

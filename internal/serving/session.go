@@ -59,7 +59,13 @@ type Session struct {
 	dirty   bool
 	drained bool
 	closed  bool
-	last    BatchStats
+	// samples memoizes the raw measured material of the last simulation;
+	// last memoizes the statistics derived from it. The node session
+	// merges backends' samples before deriving aggregate statistics, so
+	// both layers are kept.
+	samples    sampleSet
+	last       BatchStats
+	statsValid bool
 	// simulations counts how many times the session actually re-ran the
 	// simulator (the incremental-stats memoization instrumentation).
 	simulations int
@@ -146,19 +152,37 @@ func (ss *Session) Stats() (BatchStats, error) {
 	if ss.closed {
 		return BatchStats{}, fmt.Errorf("serving: session closed")
 	}
-	if !ss.dirty {
-		if len(ss.reqs) == 0 {
-			return BatchStats{}, fmt.Errorf("serving: no requests submitted")
-		}
-		return ss.last, nil
-	}
-	out, err := ss.compute()
-	if err != nil {
+	if err := ss.refresh(); err != nil {
 		return BatchStats{}, err
 	}
-	ss.last = out
+	if !ss.statsValid {
+		out, err := ss.srv.statsOf(ss.samples)
+		if err != nil {
+			return BatchStats{}, err
+		}
+		ss.last = out
+		ss.statsValid = true
+	}
+	return ss.last, nil
+}
+
+// refresh re-simulates the submitted stream if it changed since the last
+// simulation, memoizing the resulting sample set.
+func (ss *Session) refresh() error {
+	if !ss.dirty {
+		if len(ss.reqs) == 0 {
+			return fmt.Errorf("serving: no requests submitted")
+		}
+		return nil
+	}
+	sm, err := ss.compute()
+	if err != nil {
+		return err
+	}
+	ss.samples = sm
 	ss.dirty = false
-	return out, nil
+	ss.statsValid = false
+	return nil
 }
 
 // Drain computes the final statistics and seals the session against
@@ -209,10 +233,11 @@ func materialize(id int, t *workload.Task) *workload.Task {
 	}
 }
 
-// compute re-simulates the submitted stream and derives statistics.
-func (ss *Session) compute() (BatchStats, error) {
+// compute re-simulates the submitted stream and collects its raw
+// measured samples.
+func (ss *Session) compute() (sampleSet, error) {
 	if len(ss.reqs) == 0 {
-		return BatchStats{}, fmt.Errorf("serving: no requests submitted")
+		return sampleSet{}, fmt.Errorf("serving: no requests submitted")
 	}
 	fresh := make([]*workload.Task, len(ss.reqs))
 	for i, t := range ss.reqs {
@@ -223,24 +248,20 @@ func (ss *Session) compute() (BatchStats, error) {
 	if ss.cfg.Window <= 0 {
 		res, err := ss.srv.simulate(ss.cfg.Policy, ss.cfg.Preemptive, ss.cfg.Selector, fresh)
 		if err != nil {
-			return BatchStats{}, err
+			return sampleSet{}, err
 		}
-		st, err := ss.srv.steadyStats(res, ss.cut())
-		if err != nil {
-			return BatchStats{}, err
-		}
-		return BatchStats{Stats: st, Dispatched: len(res.Tasks), MeanBatch: 1}, nil
+		return ss.srv.collectTasks(res, ss.cut()), nil
 	}
 
 	tasks, members, err := ss.coalesce(fresh)
 	if err != nil {
-		return BatchStats{}, err
+		return sampleSet{}, err
 	}
 	res, err := ss.srv.simulate(ss.cfg.Policy, ss.cfg.Preemptive, ss.cfg.Selector, tasks)
 	if err != nil {
-		return BatchStats{}, err
+		return sampleSet{}, err
 	}
-	return ss.srv.memberStats(res, members, ss.cut())
+	return ss.srv.collectMembers(res, members, ss.cut()), nil
 }
 
 // coalesce fuses same-model CNN requests arriving within the batching

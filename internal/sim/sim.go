@@ -47,6 +47,17 @@ type Options struct {
 	// latency. Nil models an unbounded pool (the paper's common case,
 	// GBs of NPU DRAM).
 	CkptMem *ckptmem.Manager
+	// OnComplete, when non-nil, is invoked after every task completion
+	// with the completed entry and the completion cycle; the returned
+	// tasks join the pending arrivals. Each injected task must arrive at
+	// or after the completion cycle. This is the closed-loop serving
+	// hook: a client releases its next request only once its previous
+	// one completes. Because an arrival can never precede the completion
+	// that released it, a run with injection is indistinguishable from a
+	// run given the same realized arrivals up front (the simulator's
+	// trajectory depends on arrival times, not on when an arrival became
+	// known) — internal/serving's closed-loop replay relies on this.
+	OnComplete func(done *sched.Task, now int64) []*sched.Task
 }
 
 // PreemptionEvent records one serviced preemption for the
@@ -186,14 +197,54 @@ func (s *Sim) Run() (*Result, error) {
 		s.now += s.advanceRunning(horizon - s.now)
 		if s.running.Exec.Done() {
 			s.endSpan()
-			s.running.MarkFinished(s.now)
+			done := s.running
+			done.MarkFinished(s.now)
 			s.running = nil
 			remaining--
+			if s.opt.OnComplete != nil {
+				injected, err := s.inject(s.opt.OnComplete(done, s.now))
+				if err != nil {
+					return nil, err
+				}
+				remaining += injected
+			}
 		}
 	}
 	s.result.Tasks = s.tasks
 	s.result.Cycles = s.now
 	return &s.result, nil
+}
+
+// inject admits closed-loop arrivals released by the OnComplete hook:
+// each task enters the pending queue at its (arrival, ID) sort position
+// and extends the livelock bound by its own work, so injected streams
+// cannot trip a MaxCycles sized for the initial tasks only.
+func (s *Sim) inject(tasks []*sched.Task) (int, error) {
+	injected := 0
+	for _, t := range tasks {
+		if t == nil {
+			continue
+		}
+		if t.Arrival < s.now {
+			return injected, fmt.Errorf("sim: injected task %d arrives at cycle %d before the completion at %d that released it",
+				t.ID, t.Arrival, s.now)
+		}
+		tail := s.pending[s.pendHead:]
+		idx := sort.Search(len(tail), func(i int) bool {
+			if tail[i].Arrival != t.Arrival {
+				return tail[i].Arrival > t.Arrival
+			}
+			return tail[i].ID > t.ID
+		})
+		pos := s.pendHead + idx
+		s.pending = append(s.pending, nil)
+		copy(s.pending[pos+1:], s.pending[pos:])
+		s.pending[pos] = t
+		s.tasks = append(s.tasks, t)
+		s.opt.MaxCycles += t.IsolatedCycles * 100
+		injected++
+	}
+	return injected, nil
 }
 
 // allLive returns every task currently tracked by the context table

@@ -26,7 +26,12 @@
 // Streaming serving. System.Open returns a Session: an open-loop,
 // dynamically batching serving endpoint — the paper's Figure 1 TensorRT
 // Inference Server setting — that accepts a sustained request stream and
-// answers incremental latency/throughput/SLA statistics.
+// answers incremental latency/throughput/SLA statistics. System.OpenNode
+// lifts it to a multi-NPU node (the Section II-C deployment model): a
+// routing policy streams requests into per-NPU sessions with their own
+// local schedulers, reporting per-NPU and aggregate statistics. Both
+// surfaces also serve closed-loop client populations (OfferClients),
+// sweeping concurrency instead of offered load.
 //
 // Experiment suite. NewSuite shares one simulation-result cache (and
 // optionally an on-disk cache) across every paper experiment run through

@@ -180,6 +180,28 @@ func (ss *Session) OfferLoad(load float64, horizon time.Duration) (int, error) {
 	return n, nil
 }
 
+// OfferClients drives a closed-loop client population: each of the
+// clients keeps exactly one request in flight, releasing its first
+// request after one exponential think sample (mean think) and each next
+// request one think sample after the previous one completes — the
+// interactive-user regime, sweeping concurrency instead of offered
+// load. No request is released at or after the horizon, and closed
+// loops require an unbatched session (Window 0). It returns how many
+// requests were realized.
+func (ss *Session) OfferClients(clients int, think, horizon time.Duration) (int, error) {
+	n, err := ss.inner.OfferClients(serving.ClientSpec{
+		Clients: clients,
+		Think:   think,
+		Horizon: horizon,
+		Models:  ss.models,
+	}, ss.rng)
+	if err != nil {
+		return 0, err
+	}
+	ss.nextID += n
+	return n, nil
+}
+
 // Pending reports how many requests have been submitted so far.
 func (ss *Session) Pending() int { return ss.inner.Pending() }
 

@@ -127,3 +127,137 @@ func TestSessionOpenLoop(t *testing.T) {
 		t.Error("offer after close should error")
 	}
 }
+
+// TestOpenNodeStreams exercises the node-level facade end to end: a
+// 2-NPU node under every typed routing policy serves an open-loop
+// stream, reporting per-NPU and aggregate statistics that add up.
+func TestOpenNodeStreams(t *testing.T) {
+	sys := newSystem(t)
+	for _, routing := range Routings() {
+		ns, err := sys.OpenNode(NodeSessionConfig{
+			NPUs:    2,
+			Routing: routing,
+			Scheduler: Scheduler{
+				Policy: PREMA, Preemptive: true, Mechanism: Dynamic,
+			},
+			Horizon: 250 * time.Millisecond,
+			Seed:    7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := ns.OfferLoad(1.2, 250*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ns.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Requests != n {
+			t.Errorf("%s: aggregate covers %d of %d requests", routing, st.Requests, n)
+		}
+		if len(st.PerNPU) != 2 {
+			t.Fatalf("%s: %d per-NPU views, want 2", routing, len(st.PerNPU))
+		}
+		total := 0
+		for i, per := range st.PerNPU {
+			total += per.Requests
+			if per.Requests == 0 {
+				t.Errorf("%s: NPU %d served nothing at 1.2 node load", routing, i)
+			}
+		}
+		if total != st.Requests {
+			t.Errorf("%s: per-NPU totals %d diverge from aggregate %d",
+				routing, total, st.Requests)
+		}
+		if err := ns.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestOpenNodeValidation covers the node facade's error paths.
+func TestOpenNodeValidation(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := sys.OpenNode(NodeSessionConfig{
+		NPUs: 0, Scheduler: Scheduler{Policy: FCFS},
+	}); err == nil {
+		t.Error("zero NPUs should be rejected")
+	}
+	if _, err := sys.OpenNode(NodeSessionConfig{
+		NPUs: 2, Scheduler: Scheduler{Policy: "NOPE"},
+	}); err == nil {
+		t.Error("unknown policy should be rejected")
+	}
+	if _, err := sys.OpenNode(NodeSessionConfig{
+		NPUs: 2, Routing: Routing("teleport"), Scheduler: Scheduler{Policy: FCFS},
+	}); err == nil {
+		t.Error("unknown routing should be rejected")
+	}
+	if _, err := sys.OpenNode(NodeSessionConfig{
+		NPUs: 2, Scheduler: Scheduler{Policy: FCFS}, Models: []string{"NOPE"},
+	}); err == nil {
+		t.Error("unknown model should be rejected")
+	}
+}
+
+// TestFacadeClosedLoopSweep runs the concurrency sweep the closed-loop
+// model exists for, through the facade: per seed the sweep is
+// deterministic, and mean latency never decreases as the population
+// grows on both the single-NPU Session and the node.
+func TestFacadeClosedLoopSweep(t *testing.T) {
+	sys := newSystem(t)
+	sessionLat := func(clients int) float64 {
+		sess, err := sys.Open(SessionConfig{
+			Scheduler: Scheduler{Policy: FCFS},
+			Seed:      11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		if _, err := sess.OfferClients(clients, 2*time.Millisecond,
+			200*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		st, err := sess.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.MeanLatencyMS
+	}
+	if a, b := sessionLat(4), sessionLat(4); a != b {
+		t.Errorf("closed-loop session not deterministic per seed: %v vs %v", a, b)
+	}
+	if lo, hi := sessionLat(1), sessionLat(32); lo > hi {
+		t.Errorf("session latency decreased with concurrency: 1->%v 32->%v", lo, hi)
+	}
+
+	ns, err := sys.OpenNode(NodeSessionConfig{
+		NPUs:      2,
+		Routing:   LeastWork,
+		Scheduler: Scheduler{Policy: PREMA, Preemptive: true},
+		Seed:      13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	n, err := ns.OfferClients(6, 2*time.Millisecond, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ns.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != n {
+		t.Errorf("node aggregate covers %d of %d realized requests", st.Requests, n)
+	}
+	for i, per := range st.PerNPU {
+		if per.Requests == 0 {
+			t.Errorf("NPU %d received no closed-loop clients", i)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench.sh — serving-path performance tracking in one command: runs the
+# streaming hot-path benchmarks (NodeSession submit throughput, router
+# decide cost, autoscale tick overhead) and emits BENCH_serving.json so
+# the perf trajectory is diffable from PR to PR. The derived
+# "autoscale-tick-overhead" entry is the per-request ns delta between
+# the autoscaled and the plain submit path.
+set -eu
+cd "$(dirname "$0")"
+
+out=BENCH_serving.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+# No pipelines around go test: a pipe would launder its exit status
+# through tee and set -e would let a failed benchmark run emit an
+# empty-but-valid JSON file.
+run_bench() {
+	go test -run '^$' -bench "$1" -benchtime=1s "$2" >> "$raw" 2>&1 ||
+		{ cat "$raw" >&2; echo "bench.sh: $2 benchmarks failed" >&2; exit 1; }
+}
+run_bench 'BenchmarkNodeSessionSubmit' ./internal/serving
+run_bench 'BenchmarkRouterDecide|BenchmarkRouteLeastQueued/pruned-8000' ./internal/cluster
+cat "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	# Normalize away only the GOMAXPROCS suffix on the top-level submit
+	# benchmarks (sub-benchmark names like pruned-8000 keep theirs) so
+	# the derived overhead row finds them on any machine.
+	norm = name
+	if (norm ~ /^BenchmarkNodeSessionSubmit(Autoscale)?(-[0-9]+)?$/)
+		sub(/-[0-9]+$/, "", norm)
+	metrics = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		v = $i; u = $(i + 1)
+		metrics = metrics sprintf("%s\"%s\": %s", (metrics == "" ? "" : ", "), u, v)
+		vals[norm "|" u] = v
+	}
+	rows[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, %s}", name, iters, metrics)
+}
+END {
+	plain = vals["BenchmarkNodeSessionSubmit|ns/req"]
+	scaled = vals["BenchmarkNodeSessionSubmitAutoscale|ns/req"]
+	if (plain != "" && scaled != "")
+		rows[n++] = sprintf("    {\"name\": \"autoscale-tick-overhead\", \"iterations\": 0, \"ns/req\": %.2f}",
+			scaled - plain)
+	printf "{\n  \"suite\": \"serving\",\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, gover
+	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "bench.sh: wrote $out"

@@ -7,6 +7,7 @@
 //	premasim -policy PREMA -preemptive -mechanism dynamic -tasks 8 -seed 3
 //	premasim -policy FCFS -tasks 8
 //	premasim -npus 4 -routing least-work -policy PREMA -preemptive
+//	premasim -autoscale queue-depth -slo 8ms -min-npus 1 -max-npus 4
 package main
 
 import (
@@ -43,9 +44,48 @@ func main() {
 		think = flag.Duration("think", 2*time.Millisecond,
 			"mean exponential think time between a completion and the same client's next request")
 		serveHorizon = flag.Duration("serve-horizon", 250*time.Millisecond,
-			"closed-loop serving horizon (no request is released at or after it)")
+			"streaming horizon: closed-loop release window, or the full autoscale load ramp")
+		autoscaleFlag = flag.String("autoscale", "",
+			"autoscaling policy (switches to an elastic node session under a load ramp): "+
+				strings.Join(prema.Scalers(), "|"))
+		slo = flag.Duration("slo", 8*time.Millisecond,
+			"P95 latency SLO the autoscaler targets")
+		minNPUs = flag.Int("min-npus", 1, "autoscaling fleet minimum")
+		maxNPUs = flag.Int("max-npus", 4, "autoscaling fleet maximum")
 	)
 	flag.Parse()
+
+	// Misconfigured flag combinations fail loudly instead of being
+	// silently ignored.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["routing"] && *npus == 1 && *clients == 0 && *autoscaleFlag == "" {
+		fatal(fmt.Errorf("-routing needs a multi-NPU node: combine it with -npus > 1, -clients or -autoscale"))
+	}
+	if *clients > 0 && *serveHorizon <= 0 {
+		fatal(fmt.Errorf("-clients %d needs a positive -serve-horizon (got %v): no request could ever be released",
+			*clients, *serveHorizon))
+	}
+	if *autoscaleFlag != "" && *clients > 0 {
+		fatal(fmt.Errorf("-autoscale and -clients are mutually exclusive: closed-loop clients pin to their NPU, autoscaling requires routed traffic"))
+	}
+	if *autoscaleFlag != "" && *serveHorizon <= 0 {
+		fatal(fmt.Errorf("-autoscale needs a positive -serve-horizon (got %v) to spread the load ramp over", *serveHorizon))
+	}
+	if *autoscaleFlag == "" && (set["slo"] || set["min-npus"] || set["max-npus"]) {
+		fatal(fmt.Errorf("-slo/-min-npus/-max-npus only apply to autoscaling runs: add -autoscale <scaler> (known: %s)",
+			strings.Join(prema.Scalers(), "|")))
+	}
+	if *autoscaleFlag != "" || *clients > 0 {
+		for _, name := range []string{"tasks", "window", "batch", "oracle", "parallel", "timeline"} {
+			if set[name] {
+				fatal(fmt.Errorf("-%s only applies to batch simulation runs; it has no effect with -autoscale/-clients", name))
+			}
+		}
+	}
+	if *autoscaleFlag != "" && set["think"] {
+		fatal(fmt.Errorf("-think only applies to closed-loop runs (-clients)"))
+	}
 
 	sys, err := prema.NewSystem(prema.WithQuantum(*quantum))
 	if err != nil {
@@ -71,6 +111,26 @@ func main() {
 	}
 	if err := sched.Validate(); err != nil {
 		fatal(err)
+	}
+
+	if *autoscaleFlag != "" {
+		route, err := prema.ParseRouting(*routing)
+		if err != nil {
+			fatal(err)
+		}
+		runAutoscale(sys, prema.NodeSessionConfig{
+			NPUs: *npus, Routing: route, Scheduler: sched,
+			// The light interactive mix: single-digit-millisecond SLOs
+			// are unattainable for the heavy translation/ASR RNNs at any
+			// fleet size.
+			Models:  []string{"CNN-AN", "CNN-GN", "CNN-MN", "RNN-SA"},
+			Horizon: *serveHorizon, Seed: uint64(*seed),
+			Autoscale: &prema.AutoscaleConfig{
+				Scaler: *autoscaleFlag, SLO: *slo,
+				MinNPUs: *minNPUs, MaxNPUs: *maxNPUs,
+			},
+		}, *serveHorizon)
+		return
 	}
 
 	if *clients > 0 {
@@ -141,6 +201,48 @@ func main() {
 		fmt.Println()
 		fmt.Print(res.Timeline.Render(cfg, 100))
 	}
+}
+
+// runAutoscale drives an elastic node session through a diurnal load
+// ramp (0.4x -> 3x a single NPU's capacity and back, in five equal
+// segments) and prints the scaling timeline next to the served
+// statistics.
+func runAutoscale(sys *prema.System, cfg prema.NodeSessionConfig, horizon time.Duration) {
+	ramp := []float64{0.4, 1.5, 3.0, 1.5, 0.4}
+	segment := horizon / time.Duration(len(ramp))
+	ns, err := sys.OpenNode(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer ns.Close()
+	n, err := ns.OfferRamp(ramp, segment)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := ns.Drain()
+	if err != nil {
+		fatal(err)
+	}
+	a := cfg.Autoscale
+	fmt.Printf("autoscaling node: scaler=%s slo=%v fleet=[%d,%d] start=%d, %s routing, local %s\n",
+		a.Scaler, a.SLO, a.MinNPUs, a.MaxNPUs, cfg.NPUs, cfg.Routing, cfg.Scheduler.Policy)
+	fmt.Printf("load ramp: %v x %v segments, %d requests\n\n", ramp, segment, n)
+
+	fmt.Println("scaling timeline:")
+	for _, e := range st.Scaling.Events {
+		bar := strings.Repeat("#", e.NPUs)
+		if e.Delta == 0 {
+			fmt.Printf("  %8.2fms  %-8s %s (start)\n", e.AtMS, fmt.Sprintf("%d NPUs", e.NPUs), bar)
+			continue
+		}
+		fmt.Printf("  %8.2fms  %-8s %s (%+d)\n", e.AtMS, fmt.Sprintf("%d NPUs", e.NPUs), bar, e.Delta)
+	}
+	fmt.Printf("\nfleet: mean %.2f NPUs, peak %d, %d scale events\n",
+		st.Scaling.MeanNPUs, st.Scaling.PeakNPUs, len(st.Scaling.Events)-1)
+	fmt.Printf("latency: mean %.2fms  p50 %.2fms  p95 %.2fms  (SLO %.1fms)\n",
+		st.MeanLatencyMS, st.P50LatencyMS, st.P95LatencyMS, st.Scaling.SLOLatencyMS)
+	fmt.Printf("SLO violations: %.1f%% of measured requests\n", st.Scaling.SLOViolationFrac*100)
+	fmt.Printf("per-NPU requests: %v\n", ns.Routed())
 }
 
 // runClosedLoop drives the streaming node session under a closed-loop

@@ -9,9 +9,12 @@ package prema
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/sched"
+	"repro/internal/serving"
 )
 
 // Policy identifies a scheduling policy. The paper's six policies are
@@ -197,6 +200,57 @@ func (s Scheduler) mechanism() Mechanism {
 		return Dynamic
 	}
 	return s.Mechanism
+}
+
+// AutoscaleConfig attaches an SLO-driven scaling policy to a node
+// session (NodeSessionConfig.Autoscale): the scaler watches the
+// router's fluid per-NPU load on a periodic tick and grows or shrinks
+// the backend fleet between MinNPUs and MaxNPUs — the
+// Kubernetes-autoscaler analogue of the Section II-C router.
+type AutoscaleConfig struct {
+	// Scaler is the scaling-policy label: "static" (no-op baseline),
+	// "target-latency" (PI controller against the P95 SLO),
+	// "queue-depth" (thresholds with hysteresis and cooldown), or a
+	// custom policy added with RegisterScaler. Empty is a validation
+	// error — attaching an autoscaler without picking a policy would
+	// otherwise be silently inert.
+	Scaler string
+	// SLO is the P95 latency target the fleet is scaled against; the
+	// scaling statistics also report the fraction of requests exceeding
+	// it.
+	SLO time.Duration
+	// MinNPUs and MaxNPUs bound the fleet (defaults 1 and max(8, the
+	// session's initial NPUs)). The initial fleet must lie inside the
+	// bounds.
+	MinNPUs, MaxNPUs int
+	// Tick is the scaler evaluation period (default 2ms).
+	Tick time.Duration
+}
+
+// Validate checks the scaler label and the SLO; the fleet bounds are
+// checked against the initial fleet size when the node session opens.
+func (a AutoscaleConfig) Validate() error {
+	if a.Scaler == "" {
+		return fmt.Errorf("prema: no scaler selected (known: %v)", Scalers())
+	}
+	if !autoscale.Has(a.Scaler) {
+		return fmt.Errorf("prema: unknown scaler %q (known: %v)", a.Scaler, Scalers())
+	}
+	if a.SLO <= 0 {
+		return fmt.Errorf("prema: autoscaling requires a positive latency SLO, got %v", a.SLO)
+	}
+	return nil
+}
+
+// toServing maps the facade configuration onto the serving substrate.
+func (a AutoscaleConfig) toServing() *serving.AutoscaleConfig {
+	return &serving.AutoscaleConfig{
+		Scaler:  a.Scaler,
+		SLO:     a.SLO,
+		MinNPUs: a.MinNPUs,
+		MaxNPUs: a.MaxNPUs,
+		Tick:    a.Tick,
+	}
 }
 
 // Node configures a multi-NPU system node (the Section II-C deployment

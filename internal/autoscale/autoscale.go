@@ -1,0 +1,235 @@
+// Package autoscale is the elastic-capacity layer of the system node:
+// a scaling policy watches the per-NPU load the streaming node session
+// already tracks (the router's fluid backlog model, built on the same
+// Algorithm 1 estimates the schedulers consume) and decides when to
+// grow or shrink the backend set against a latency SLO — the
+// Kubernetes-autoscaler analogue of the Section II-C router. The
+// package is deliberately substrate-free: a Policy sees one Metrics
+// snapshot per evaluation tick and answers with a signed backend-count
+// Delta; the serving.NodeSession owns the substrate work (spinning
+// fresh per-NPU backends, draining retired ones, clamping to the
+// configured fleet bounds).
+//
+// Three policies ship built in, registered through the same write-once
+// registry custom scalers use (see Register):
+//
+//   - "static": the no-op baseline — never scales, so an attached
+//     static scaler is provably equivalent to no scaler at all.
+//   - "target-latency": a PI controller against the P95 latency SLO.
+//   - "queue-depth": per-NPU in-flight thresholds with hysteresis and
+//     a cooldown between actions.
+package autoscale
+
+import "fmt"
+
+// Metrics is the load snapshot a scaling policy observes at one
+// evaluation tick. All figures derive from the router's fluid state and
+// the tick window's routing decisions — no simulation runs to produce
+// them, so a tick is cheap enough to evaluate every few milliseconds.
+type Metrics struct {
+	// Now is the evaluation instant in NPU cycles.
+	Now int64
+	// Active is the number of backends accepting new work (draining
+	// backends excluded).
+	Active int
+	// Draining is the number of backends retired but still completing
+	// previously routed work.
+	Draining int
+	// Min and Max are the fleet bounds the caller enforces; a policy may
+	// consult them to avoid futile pressure at the limits.
+	Min, Max int
+	// InFlight is the total number of routed requests across active
+	// backends whose estimated work has not drained at Now.
+	InFlight int
+	// BacklogMS is the total estimated queued work across active
+	// backends, in milliseconds.
+	BacklogMS float64
+	// EstP95LatencyMS is the 95th percentile of the fluid latency
+	// estimates (queueing plus service, per Algorithm 1) of the requests
+	// routed since the previous tick; 0 when nothing arrived.
+	EstP95LatencyMS float64
+	// SLOLatencyMS is the P95 latency target the fleet is scaled
+	// against.
+	SLOLatencyMS float64
+}
+
+// Delta is a policy's decision: the signed change in active backend
+// count it wants (positive grows the fleet, negative shrinks it, zero
+// holds). The caller clamps the applied change to the [Min, Max] fleet
+// bounds.
+type Delta int
+
+// Policy decides, once per evaluation tick, whether the backend set
+// should grow or shrink. Implementations may keep scratch state between
+// ticks (integrators, hysteresis counters), so one instance must drive
+// exactly one node session; the registry constructs a fresh instance
+// per attachment.
+type Policy interface {
+	// Decide inspects one load snapshot and returns the wanted fleet
+	// change.
+	Decide(m Metrics) Delta
+}
+
+// Config parameterizes built-in policy construction.
+type Config struct {
+	// SLOLatencyMS is the P95 latency target in milliseconds; it is also
+	// delivered in every Metrics snapshot.
+	SLOLatencyMS float64
+}
+
+// Static is the no-op baseline scaler: it never changes the fleet, so a
+// node with a static scaler attached behaves identically to one with no
+// scaler (the serving tests lock the outputs in as equal).
+type Static struct{}
+
+// Decide always holds the fleet.
+func (Static) Decide(Metrics) Delta { return 0 }
+
+// TargetLatency is a PI controller (the PID family without the
+// derivative term, which the noisy per-tick P95 would whip around)
+// against the P95 latency SLO: the control error is the relative SLO
+// overshoot, the integral accumulates sustained pressure, and the
+// control output converts to a fleet delta once it crosses the action
+// threshold. Scale-down is deliberately conservative — one backend per
+// action — because shrinking too fast re-queues load onto survivors.
+type TargetLatency struct {
+	kp, ki   float64
+	maxStep  int
+	cooldown int
+
+	integral float64
+	since    int
+}
+
+// NewTargetLatency builds the PI scaler with the default gains
+// (kp 1.0, ki 0.25, max +2 per action, 2-tick cooldown).
+func NewTargetLatency(cfg Config) (*TargetLatency, error) {
+	if cfg.SLOLatencyMS <= 0 {
+		return nil, fmt.Errorf("autoscale: target-latency requires a positive SLO, got %vms", cfg.SLOLatencyMS)
+	}
+	return &TargetLatency{kp: 1.0, ki: 0.25, maxStep: 2, cooldown: 2}, nil
+}
+
+// Decide runs one PI step against the tick's estimated P95.
+func (p *TargetLatency) Decide(m Metrics) Delta {
+	if m.SLOLatencyMS <= 0 {
+		return 0
+	}
+	// Relative overshoot: 0 at the SLO, 1 at twice the SLO, -1 when
+	// fully idle.
+	err := (m.EstP95LatencyMS - m.SLOLatencyMS) / m.SLOLatencyMS
+	if err < -1 {
+		err = -1
+	}
+	p.integral += err
+	// Anti-windup: a long saturated burst must not take as long to
+	// unwind as it took to build.
+	const windup = 4
+	if p.integral > windup {
+		p.integral = windup
+	} else if p.integral < -windup {
+		p.integral = -windup
+	}
+	ctrl := p.kp*err + p.ki*p.integral
+	p.since++
+	if p.since <= p.cooldown {
+		return 0
+	}
+	switch {
+	case ctrl >= 0.5:
+		d := int(ctrl + 0.5)
+		if d > p.maxStep {
+			d = p.maxStep
+		}
+		p.since = 0
+		return Delta(d)
+	case ctrl <= -0.5:
+		p.since = 0
+		return -1
+	}
+	return 0
+}
+
+// QueueDepth scales on per-NPU queue pressure with hysteresis and
+// cooldown: the fleet grows only after the load has stayed hot for
+// UpAfter consecutive ticks, shrinks only after it has stayed cold for
+// DownAfter consecutive ticks, and rests Cooldown ticks after every
+// action so one burst cannot thrash the fleet up and down.
+//
+// Pressure blends two signals. The mean in-flight depth across active
+// backends is the classic queue-length threshold; the mean estimated
+// backlog per backend (in multiples of the SLO, when one is set) covers
+// the inference-serving reality that a "queue" of two multi-second
+// requests is hotter than a queue of ten tiny ones — raw counts alone
+// both under-grow into heavy peaks and shrink while real work remains.
+type QueueDepth struct {
+	// High and Low are the mean per-active-NPU in-flight thresholds.
+	High, Low float64
+	// UpAfter and DownAfter are the consecutive-tick hysteresis spans.
+	UpAfter, DownAfter int
+	// Cooldown is the minimum number of ticks between scaling actions.
+	Cooldown int
+
+	above, below, since int
+}
+
+// NewQueueDepth builds the threshold scaler with the default shape
+// (High 3, Low 1, up after 2 ticks, down after 3, cooldown 2).
+func NewQueueDepth(Config) (*QueueDepth, error) {
+	return &QueueDepth{High: 3, Low: 1, UpAfter: 2, DownAfter: 3, Cooldown: 2}, nil
+}
+
+// Decide runs one hysteresis step over the tick's queue pressure.
+func (p *QueueDepth) Decide(m Metrics) Delta {
+	if m.Active <= 0 {
+		return 0
+	}
+	depth := float64(m.InFlight) / float64(m.Active)
+	hot := depth > p.High
+	cold := depth < p.Low
+	burst := depth > 2*p.High
+	if m.SLOLatencyMS > 0 {
+		// Backlog measured against the SLO: queued work that already
+		// exceeds the latency target per backend is hot however few
+		// requests it is, and a backend still holding an SLO's worth of
+		// work is not cold yet.
+		backlog := m.BacklogMS / float64(m.Active)
+		if backlog > 2*m.SLOLatencyMS {
+			hot = true
+		}
+		if backlog > m.SLOLatencyMS {
+			cold = false
+		}
+		if backlog > 6*m.SLOLatencyMS {
+			burst = true
+		}
+	}
+	switch {
+	case hot:
+		p.above++
+		p.below = 0
+	case cold:
+		p.below++
+		p.above = 0
+	default:
+		p.above, p.below = 0, 0
+	}
+	p.since++
+	if p.since <= p.Cooldown {
+		return 0
+	}
+	if p.above >= p.UpAfter {
+		p.above, p.since = 0, 0
+		// Burst absorption: pressure far past the threshold earns a
+		// bigger step.
+		if burst {
+			return 2
+		}
+		return 1
+	}
+	if p.below >= p.DownAfter {
+		p.below, p.since = 0, 0
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,206 @@
+package autoscale
+
+import (
+	"strings"
+	"testing"
+)
+
+// tick builds a metrics snapshot for a fleet of active backends seeing
+// the given mean per-NPU depth and estimated P95.
+func tick(now int64, active int, depth float64, p95, slo float64) Metrics {
+	return Metrics{
+		Now: now, Active: active, Min: 1, Max: 8,
+		InFlight:        int(depth * float64(active)),
+		EstP95LatencyMS: p95, SLOLatencyMS: slo,
+	}
+}
+
+func TestStaticNeverScales(t *testing.T) {
+	var s Static
+	for i := 0; i < 50; i++ {
+		m := tick(int64(i), 1+i%4, float64(i%13), float64(i*3), 4)
+		if d := s.Decide(m); d != 0 {
+			t.Fatalf("static scaler moved (%+d) on tick %d", d, i)
+		}
+	}
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	want := []string{"queue-depth", "static", "target-latency"}
+	got := Names()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("builtin scalers = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		if !Has(name) {
+			t.Errorf("Has(%q) = false", name)
+		}
+		p, err := ByName(name, Config{SLOLatencyMS: 8})
+		if err != nil || p == nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", Config{}); err == nil {
+		t.Error("unknown scaler should error")
+	}
+}
+
+func TestRegistryWriteOnce(t *testing.T) {
+	if err := Register("test-dup", func(Config) (Policy, error) { return Static{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register("test-dup", func(Config) (Policy, error) { return Static{}, nil }); err == nil {
+		t.Error("duplicate registration should error")
+	}
+	if err := Register("", func(Config) (Policy, error) { return Static{}, nil }); err == nil {
+		t.Error("empty name should error")
+	}
+	if err := Register("test-nil", nil); err == nil {
+		t.Error("nil factory should error")
+	}
+}
+
+// TestByNameFreshInstances proves the factory contract: two attachments
+// get two instances, so one session's hysteresis state cannot leak into
+// another's.
+func TestByNameFreshInstances(t *testing.T) {
+	a, err := ByName("queue-depth", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("queue-depth", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.(*QueueDepth) == b.(*QueueDepth) {
+		t.Error("ByName returned a shared instance")
+	}
+}
+
+func TestTargetLatencyRequiresSLO(t *testing.T) {
+	if _, err := NewTargetLatency(Config{}); err == nil {
+		t.Error("zero SLO should be rejected")
+	}
+	if _, err := NewTargetLatency(Config{SLOLatencyMS: -1}); err == nil {
+		t.Error("negative SLO should be rejected")
+	}
+}
+
+// TestTargetLatencyDirection drives the PI controller with sustained
+// overshoot, then sustained idleness: it must ask for growth under
+// pressure and shrinkage at rest, never the reverse.
+func TestTargetLatencyDirection(t *testing.T) {
+	p, err := NewTargetLatency(Config{SLOLatencyMS: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up, down int
+	for i := 0; i < 12; i++ { // P95 at 3x the SLO
+		switch d := p.Decide(tick(int64(i), 2, 6, 24, 8)); {
+		case d > 0:
+			up++
+		case d < 0:
+			t.Fatalf("PI scaler shrank under 3x-SLO overshoot on tick %d", i)
+		}
+	}
+	if up == 0 {
+		t.Error("PI scaler never grew under sustained 3x-SLO overshoot")
+	}
+	for i := 0; i < 24; i++ { // fully idle
+		switch d := p.Decide(tick(int64(100+i), 4, 0, 0, 8)); {
+		case d < 0:
+			down++
+		case d > 0:
+			t.Fatalf("PI scaler grew while idle on tick %d", i)
+		}
+	}
+	if down == 0 {
+		t.Error("PI scaler never shrank while idle")
+	}
+}
+
+// TestTargetLatencyStepCap locks the per-action bound: even an extreme
+// overshoot converts to at most maxStep backends per action.
+func TestTargetLatencyStepCap(t *testing.T) {
+	p, err := NewTargetLatency(Config{SLOLatencyMS: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if d := p.Decide(tick(int64(i), 1, 50, 1000, 8)); d > 2 {
+			t.Fatalf("PI step %+d exceeds the cap", d)
+		}
+	}
+}
+
+// TestQueueDepthHysteresis proves one hot tick is not enough: the
+// threshold scaler must wait out its hysteresis span before growing and
+// its cooldown before acting again.
+func TestQueueDepthHysteresis(t *testing.T) {
+	p, err := NewQueueDepth(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cooldown swallows the first ticks; a single hot tick after a calm
+	// one must not scale either.
+	if d := p.Decide(tick(0, 1, 5, 0, 0)); d != 0 {
+		t.Fatalf("scaled %+d inside the cooldown", d)
+	}
+	if d := p.Decide(tick(1, 1, 2, 0, 0)); d != 0 {
+		t.Fatalf("scaled %+d on a calm tick", d)
+	}
+	if d := p.Decide(tick(2, 1, 5, 0, 0)); d != 0 {
+		t.Fatalf("scaled %+d after one hot tick (hysteresis wants %d)", d, p.UpAfter)
+	}
+	if d := p.Decide(tick(3, 1, 5, 0, 0)); d != 1 {
+		t.Fatalf("want +1 after %d hot ticks, got %+d", p.UpAfter, d)
+	}
+	// Immediately after the action the cooldown must hold the fleet even
+	// under continued pressure.
+	if d := p.Decide(tick(4, 2, 5, 0, 0)); d != 0 {
+		t.Fatalf("scaled %+d during post-action cooldown", d)
+	}
+}
+
+// TestQueueDepthScaleDown drives depth to zero and expects a shrink
+// only after DownAfter consecutive calm ticks.
+func TestQueueDepthScaleDown(t *testing.T) {
+	p, err := NewQueueDepth(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < p.DownAfter+p.Cooldown; i++ {
+		if d := p.Decide(tick(int64(i), 4, 0, 0, 0)); d != 0 {
+			if d != -1 {
+				t.Fatalf("want -1, got %+d", d)
+			}
+			fired = i + 1
+			break
+		}
+	}
+	if fired == 0 {
+		t.Fatal("threshold scaler never shrank an idle fleet")
+	}
+	if fired < p.DownAfter {
+		t.Errorf("shrank after %d ticks, hysteresis wants at least %d", fired, p.DownAfter)
+	}
+}
+
+// TestQueueDepthBurstStep locks the burst-absorption step: depth far
+// past High earns a two-backend step.
+func TestQueueDepthBurstStep(t *testing.T) {
+	p, err := NewQueueDepth(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Delta
+	for i := 0; i < 2+p.Cooldown+p.UpAfter; i++ {
+		if d = p.Decide(tick(int64(i), 1, 4*p.High, 0, 0)); d != 0 {
+			break
+		}
+	}
+	if d != 2 {
+		t.Errorf("want burst step +2, got %+d", d)
+	}
+}

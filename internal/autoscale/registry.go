@@ -1,0 +1,88 @@
+package autoscale
+
+// registry.go is the scaler registry, mirroring the policy/selector/
+// estimator registries in sched and workload: write-once labels, the
+// built-ins pre-registered through the same path external callers use,
+// and the facade re-exporting Register so custom scalers plug in
+// without touching internal packages.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds one scaler instance for one node-session attachment.
+// Factories must return a fresh instance per call: scalers may keep
+// scratch state between ticks (integrators, hysteresis counters), so an
+// instance must never be shared by two sessions.
+type Factory func(Config) (Policy, error)
+
+var (
+	regMu sync.RWMutex
+	reg   = map[string]Factory{}
+)
+
+// Register adds a scaler under a label. Registration is process-wide
+// and write-once: a duplicate label is an error, so a label always
+// denotes one scaling policy for the life of the process.
+func Register(name string, factory Factory) error {
+	if name == "" {
+		return fmt.Errorf("autoscale: empty scaler name")
+	}
+	if factory == nil {
+		return fmt.Errorf("autoscale: nil factory for scaler %q", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[name]; dup {
+		return fmt.Errorf("autoscale: scaler %q already registered", name)
+	}
+	reg[name] = factory
+	return nil
+}
+
+// Has reports whether a scaler label is registered.
+func Has(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := reg[name]
+	return ok
+}
+
+// Names lists the registered scaler labels in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName constructs a fresh scaler instance by its label.
+func ByName(name string, cfg Config) (Policy, error) {
+	regMu.RLock()
+	factory, ok := reg[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("autoscale: unknown scaler %q (known: %v)", name, Names())
+	}
+	return factory(cfg)
+}
+
+// mustRegister registers a builtin; the labels are distinct string
+// literals, so failure is a programming error.
+func mustRegister(name string, factory Factory) {
+	if err := Register(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegister("static", func(Config) (Policy, error) { return Static{}, nil })
+	mustRegister("target-latency", func(cfg Config) (Policy, error) { return NewTargetLatency(cfg) })
+	mustRegister("queue-depth", func(cfg Config) (Policy, error) { return NewQueueDepth(cfg) })
+}

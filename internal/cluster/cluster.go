@@ -89,8 +89,11 @@ type Result struct {
 
 // NPUStats summarizes one accelerator's share of the run.
 type NPUStats struct {
-	Tasks    int
+	// Tasks is how many routed tasks the NPU completed.
+	Tasks int
+	// Makespan is the NPU's completion cycle.
 	Makespan int64
+	// BusyFrac is the fraction of the makespan the NPU spent executing.
 	BusyFrac float64
 }
 

@@ -46,6 +46,12 @@ func NewRouter(p RoutingPolicy) (Router, error) {
 // approximated by the serial completion horizon of the work already
 // routed to it (estimated cycles, the same Algorithm 1 estimates the
 // NPU-local schedulers consume).
+//
+// The NPU set is dynamic: AddNPU grows it mid-stream and Retire marks a
+// backend draining — draining backends keep their fluid horizons (their
+// routed work still completes) but every Router skips them, so no new
+// work lands there. A node that never scales (the batch Route path, a
+// scaler-less session) sees the original fixed-fleet behaviour exactly.
 type State struct {
 	// freeAt is the fluid completion horizon per NPU.
 	freeAt []int64
@@ -57,6 +63,10 @@ type State struct {
 	// stream).
 	horizons [][]int64
 	heads    []int
+	// draining marks retired backends; routers route nothing new to them.
+	draining []bool
+	// active counts the non-draining backends.
+	active int
 }
 
 // NewState returns the fluid state of an idle node with the given NPU
@@ -66,11 +76,54 @@ func NewState(npus int) *State {
 		freeAt:   make([]int64, npus),
 		horizons: make([][]int64, npus),
 		heads:    make([]int, npus),
+		draining: make([]bool, npus),
+		active:   npus,
 	}
 }
 
-// NPUs reports the node size.
+// NPUs reports the node size, including draining backends.
 func (s *State) NPUs() int { return len(s.freeAt) }
+
+// Active reports how many backends accept new work.
+func (s *State) Active() int { return s.active }
+
+// Draining reports whether backend i has been retired: its routed work
+// still drains, but routers send nothing new to it.
+func (s *State) Draining(i int) bool { return s.draining[i] }
+
+// AddNPU appends a fresh idle backend to the node mid-stream (the
+// autoscaler's scale-up path) and returns its index.
+func (s *State) AddNPU() int {
+	s.freeAt = append(s.freeAt, 0)
+	s.horizons = append(s.horizons, nil)
+	s.heads = append(s.heads, 0)
+	s.draining = append(s.draining, false)
+	s.active++
+	return len(s.freeAt) - 1
+}
+
+// Retire marks backend i draining (the autoscaler's scale-down path):
+// its already-routed work keeps its fluid horizons, but every Router
+// skips it from now on. Retiring the last active backend is refused —
+// a node must always accept work.
+func (s *State) Retire(i int) error {
+	if i < 0 || i >= len(s.freeAt) {
+		return fmt.Errorf("cluster: retire of unknown NPU %d (node size %d)", i, len(s.freeAt))
+	}
+	if s.draining[i] {
+		return fmt.Errorf("cluster: NPU %d already draining", i)
+	}
+	if s.active <= 1 {
+		return fmt.Errorf("cluster: cannot retire the last active NPU")
+	}
+	s.draining[i] = true
+	s.active--
+	return nil
+}
+
+// FreeAt reports backend i's fluid completion horizon: the cycle at
+// which everything routed to it so far is estimated to have drained.
+func (s *State) FreeAt(i int) int64 { return s.freeAt[i] }
 
 // InFlight counts the requests routed to NPU i whose fluid completion
 // horizon has not drained by cycle now. now must be nondecreasing across
@@ -112,25 +165,35 @@ func (s *State) Commit(target int, t *workload.Task) {
 	s.horizons[target] = append(s.horizons[target], s.freeAt[target])
 }
 
-// roundRobinRouter cycles through the NPUs in dispatch order.
+// roundRobinRouter cycles through the non-draining NPUs in dispatch
+// order. On a fixed fleet the cursor walk is the original modulo step.
 type roundRobinRouter struct {
 	next int
 }
 
 func (r *roundRobinRouter) Decide(_ *workload.Task, st *State) int {
-	target := r.next % st.NPUs()
-	r.next++
-	return target
+	n := st.NPUs()
+	for tries := 0; tries < n; tries++ {
+		target := r.next % n
+		r.next++
+		if !st.Draining(target) {
+			return target
+		}
+	}
+	return 0 // unreachable while the state keeps one active backend
 }
 
-// leastQueuedRouter routes to the NPU with the fewest requests whose
-// (estimated) work has not yet drained at the arrival instant. Ties go
-// to the lowest NPU index.
+// leastQueuedRouter routes to the non-draining NPU with the fewest
+// requests whose (estimated) work has not yet drained at the arrival
+// instant. Ties go to the lowest NPU index.
 type leastQueuedRouter struct{}
 
 func (leastQueuedRouter) Decide(t *workload.Task, st *State) int {
 	best, bestN := 0, int(1<<30)
 	for i := 0; i < st.NPUs(); i++ {
+		if st.Draining(i) {
+			continue
+		}
 		if n := st.InFlight(i, t.Arrival); n < bestN {
 			best, bestN = i, n
 		}
@@ -138,14 +201,17 @@ func (leastQueuedRouter) Decide(t *workload.Task, st *State) int {
 	return best
 }
 
-// leastWorkRouter routes to the NPU with the least estimated backlog in
-// cycles — the predictive router built on Algorithm 1's estimates. Ties
-// go to the lowest NPU index.
+// leastWorkRouter routes to the non-draining NPU with the least
+// estimated backlog in cycles — the predictive router built on
+// Algorithm 1's estimates. Ties go to the lowest NPU index.
 type leastWorkRouter struct{}
 
 func (leastWorkRouter) Decide(t *workload.Task, st *State) int {
 	best, bestWork := 0, int64(1<<62)
 	for i := 0; i < st.NPUs(); i++ {
+		if st.Draining(i) {
+			continue
+		}
 		if w := st.Backlog(i, t.Arrival); w < bestWork {
 			best, bestWork = i, w
 		}

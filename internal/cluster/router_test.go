@@ -162,3 +162,33 @@ func BenchmarkRouteLeastQueued(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRouterDecide measures one incremental routing decision
+// (Decide + Commit) per op, the unit cost every streamed request pays;
+// bench.sh tracks it into BENCH_serving.json.
+func BenchmarkRouterDecide(b *testing.B) {
+	stream := syntheticStream(8192, 3)
+	for _, policy := range []RoutingPolicy{RoundRobin, LeastQueued, LeastWork} {
+		b.Run(policy.String(), func(b *testing.B) {
+			router, err := NewRouter(policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := NewState(4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % len(stream)
+				if k == 0 && i > 0 {
+					// Wrapping the stream would rewind the arrival clock;
+					// restart the fluid state instead (cost amortizes out).
+					if router, err = NewRouter(policy); err != nil {
+						b.Fatal(err)
+					}
+					st = NewState(4)
+				}
+				t := stream[k]
+				st.Commit(router.Decide(t, st), t)
+			}
+		})
+	}
+}

@@ -39,6 +39,8 @@ type memberRequest struct {
 
 // BatchStats extends Stats with batching-specific counters.
 type BatchStats struct {
+	// Stats are the per-request steady-state statistics (latency is per
+	// original member request, not per fused dispatch).
 	Stats
 	// Dispatched is the number of NPU tasks after coalescing.
 	Dispatched int

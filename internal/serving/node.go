@@ -20,8 +20,10 @@ package serving
 // pinned load.
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/workload"
@@ -29,13 +31,20 @@ import (
 
 // NodeConfig parameterizes a streaming multi-NPU node session.
 type NodeConfig struct {
-	// NPUs is the accelerator count in the node (>= 1).
+	// NPUs is the initial accelerator count in the node (>= 1). With an
+	// autoscaler attached it is the starting fleet size and must lie
+	// inside the configured [MinNPUs, MaxNPUs] bounds.
 	NPUs int
 	// Routing selects the router policy dispatching requests to NPUs.
 	Routing cluster.RoutingPolicy
 	// Session is the per-NPU local configuration: every backend runs
-	// this scheduler, batching window and warm-up cut.
+	// this scheduler, batching window and warm-up cut. Backends spun up
+	// by a scale-up run the identical configuration.
 	Session SessionConfig
+	// Autoscale attaches an SLO-driven scaling policy that grows and
+	// shrinks the backend set as the stream advances; nil keeps the
+	// fleet fixed.
+	Autoscale *AutoscaleConfig
 }
 
 // NodeStats aggregates a node session's stream: node-wide steady-state
@@ -43,12 +52,19 @@ type NodeConfig struct {
 // NPU's own view. The node's throughput window is the slowest NPU's
 // makespan.
 type NodeStats struct {
+	// BatchStats is the node-wide aggregate over the union of every
+	// backend's measured requests.
 	BatchStats
-	// PerNPU holds each backend's statistics over its routed share. An
-	// NPU that served nothing (or whose requests all fell inside the
-	// warm-up window) reports a zero entry with only Requests and
-	// Dispatched set.
+	// PerNPU holds each backend's statistics over its routed share —
+	// including backends a scale-down retired, whose routed requests
+	// keep counting. An NPU that served nothing (or whose requests all
+	// fell inside the warm-up window) reports a zero entry with only
+	// Requests and Dispatched set.
 	PerNPU []BatchStats
+	// Scaling is the autoscaler's timeline view (fleet size over time,
+	// scale events, SLO-violation fraction); nil unless a scaler is
+	// attached.
+	Scaling *ScalingStats
 }
 
 // NodeSession is an open node-level serving endpoint: one streaming
@@ -59,6 +75,11 @@ type NodeSession struct {
 	router   cluster.Router
 	state    *cluster.State
 	backends []*Session
+	// session is the per-NPU configuration scale-ups clone into fresh
+	// backends.
+	session SessionConfig
+	// scale is the attached autoscaler state; nil on fixed fleets.
+	scale *scaling
 
 	lastArrival int64
 	submitted   int
@@ -89,11 +110,19 @@ func (s *Server) OpenNode(cfg NodeConfig) (*NodeSession, error) {
 			return nil, err
 		}
 	}
+	var scale *scaling
+	if cfg.Autoscale != nil {
+		if scale, err = s.newScaling(*cfg.Autoscale, cfg.NPUs); err != nil {
+			return nil, err
+		}
+	}
 	return &NodeSession{
 		srv:      s,
 		router:   router,
 		state:    cluster.NewState(cfg.NPUs),
 		backends: backends,
+		session:  cfg.Session,
+		scale:    scale,
 	}, nil
 }
 
@@ -119,11 +148,22 @@ func (ns *NodeSession) Submit(t *workload.Task) error {
 		return fmt.Errorf("serving: node routing is incremental; submit in nondecreasing arrival order (arrival %d after %d)",
 			t.Arrival, ns.lastArrival)
 	}
+	// Fire every autoscale tick due before this arrival, so the routing
+	// decision sees the post-scaling fleet.
+	if err := ns.tickTo(t.Arrival); err != nil {
+		return err
+	}
 	target := ns.router.Decide(t, ns.state)
 	if err := ns.backends[target].Submit(t); err != nil {
 		return err
 	}
 	ns.state.Commit(target, t)
+	if ns.scale != nil {
+		// The request's fluid latency estimate (queueing plus service on
+		// its target) is the scaler's per-tick latency signal.
+		ns.scale.estMS = append(ns.scale.estMS,
+			ns.srv.cfg.Millis(ns.state.FreeAt(target)-t.Arrival))
+	}
 	ns.lastArrival = t.Arrival
 	ns.submitted++
 	return nil
@@ -152,6 +192,48 @@ func (ns *NodeSession) Offer(spec Spec, rng *rand.Rand) (int, error) {
 	return len(tasks), nil
 }
 
+// OfferRamp drives a piecewise-constant offered-load profile — the
+// diurnal/burst scenario autoscaling exists for: segment i offers
+// loads[i] over [Offset+i*Horizon, Offset+(i+1)*Horizon) of the base
+// spec, all routed through the node's router in arrival order. An
+// empty trough is tolerated: a zero-load segment is an idle window,
+// and a segment whose sampled Poisson window holds no arrivals is
+// skipped rather than an error (segment offsets are absolute, so later
+// segments land where they should regardless). Negative loads are an
+// error. It returns how many requests arrived across the whole ramp.
+func (ns *NodeSession) OfferRamp(base Spec, loads []float64, rng *rand.Rand) (int, error) {
+	if len(loads) == 0 {
+		return 0, fmt.Errorf("serving: empty load ramp")
+	}
+	if base.Horizon <= 0 {
+		return 0, fmt.Errorf("serving: non-positive ramp segment %v", base.Horizon)
+	}
+	total := 0
+	for i, load := range loads {
+		if load < 0 {
+			return total, fmt.Errorf("serving: ramp segment %d has negative load %v", i, load)
+		}
+		if load == 0 {
+			continue // an idle window offers nothing
+		}
+		seg := base
+		seg.OfferedLoad = load
+		seg.Offset = base.Offset + time.Duration(i)*base.Horizon
+		n, err := ns.Offer(seg, rng)
+		if err != nil {
+			if errors.Is(err, errNoArrivals) {
+				continue
+			}
+			return total, fmt.Errorf("serving: ramp segment %d (load %v): %w", i, load, err)
+		}
+		total += n
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("serving: ramp produced no requests")
+	}
+	return total, nil
+}
+
 // OfferClients spreads a closed-loop client population across the
 // node's NPUs with round-robin affinity: client c pins to NPU
 // (cursor+c) mod NPUs and runs its closed loop against that backend
@@ -165,6 +247,12 @@ func (ns *NodeSession) OfferClients(spec ClientSpec, rng *rand.Rand) (int, error
 	}
 	if ns.drained {
 		return 0, fmt.Errorf("serving: node session drained; no further submissions")
+	}
+	if ns.scale != nil {
+		// Closed-loop clients pin to their backend for the whole run; a
+		// scale-down could never drain a pinned backend, so the two modes
+		// are mutually exclusive.
+		return 0, fmt.Errorf("serving: closed-loop clients pin to their NPU; autoscaling requires routed traffic (Submit/Offer)")
 	}
 	if spec.Clients <= 0 {
 		return 0, fmt.Errorf("serving: non-positive client count %d", spec.Clients)
@@ -242,6 +330,9 @@ func (ns *NodeSession) Stats() (NodeStats, error) {
 		return NodeStats{}, err
 	}
 	out.BatchStats = agg
+	if ns.scale != nil {
+		out.Scaling = ns.scalingStats(merged)
+	}
 	ns.last = out
 	ns.statsAt = ns.submitted
 	ns.statsValid = true

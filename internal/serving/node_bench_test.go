@@ -1,0 +1,80 @@
+package serving
+
+// node_bench_test.go tracks the streaming node session's hot path: the
+// per-request submit cost (router decide + fluid commit + backend
+// append) and the same path with an autoscaler attached — the delta
+// between the two is the autoscale tick overhead bench.sh reports into
+// BENCH_serving.json.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// benchStream generates one dense arrival stream the submit benchmarks
+// replay into fresh node sessions.
+func benchStream(b *testing.B, s *Server, n int) []*workload.Task {
+	b.Helper()
+	spec := Spec{
+		Horizon:     time.Duration(n) * 250 * time.Microsecond,
+		OfferedLoad: 4.0,
+		Models:      []string{"CNN-AN", "CNN-GN", "CNN-MN", "RNN-SA"},
+		BatchSizes:  []int{1},
+	}
+	stream, err := s.Generate(spec, workload.RNGFor(0xBE7C4, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stream
+}
+
+// submitAll opens one node per pass and streams every request through
+// it; per-request cost is reported as ns/req.
+func submitAll(b *testing.B, s *Server, cfg NodeConfig, stream []*workload.Task) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ns, err := s.OpenNode(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range stream {
+			if err := ns.Submit(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(stream)), "ns/req")
+}
+
+// BenchmarkNodeSessionSubmit measures the fixed-fleet submit path on a
+// 4-NPU least-work node.
+func BenchmarkNodeSessionSubmit(b *testing.B) {
+	s := newServer(b)
+	stream := benchStream(b, s, 2048)
+	submitAll(b, s, NodeConfig{
+		NPUs: 4, Routing: cluster.LeastWork,
+		Session: SessionConfig{Policy: "FCFS"},
+	}, stream)
+}
+
+// BenchmarkNodeSessionSubmitAutoscale measures the same submit path
+// with a queue-depth scaler ticking every 2ms. The fleet is pinned
+// (MinNPUs == MaxNPUs == the baseline's size) so every tick evaluates
+// but no scaling can apply: the difference to BenchmarkNodeSessionSubmit
+// is purely the tick-evaluation overhead, not fleet-size effects.
+func BenchmarkNodeSessionSubmitAutoscale(b *testing.B) {
+	s := newServer(b)
+	stream := benchStream(b, s, 2048)
+	submitAll(b, s, NodeConfig{
+		NPUs: 4, Routing: cluster.LeastWork,
+		Session: SessionConfig{Policy: "FCFS"},
+		Autoscale: &AutoscaleConfig{Scaler: "queue-depth", SLO: 8 * time.Millisecond,
+			MinNPUs: 4, MaxNPUs: 4},
+	}, stream)
+}

@@ -9,6 +9,7 @@
 package serving
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -23,8 +24,13 @@ import (
 
 // Spec parameterizes one sustained-load run.
 type Spec struct {
-	// Horizon is the arrival window; requests arrive over [0, Horizon).
+	// Horizon is the arrival window; requests arrive over
+	// [Offset, Offset+Horizon).
 	Horizon time.Duration
+	// Offset shifts the whole arrival window, letting consecutive
+	// Generate calls chain into a piecewise load profile (see
+	// NodeSession.OfferRamp). 0 starts at the stream origin.
+	Offset time.Duration
 	// OfferedLoad is the offered utilization: the request rate times
 	// the mix's mean isolated service time. Loads near or above 1
 	// saturate the NPU.
@@ -93,6 +99,9 @@ func (s *Server) Generate(spec Spec, rng *rand.Rand) ([]*workload.Task, error) {
 	if spec.Horizon <= 0 {
 		return nil, fmt.Errorf("serving: non-positive horizon %v", spec.Horizon)
 	}
+	if spec.Offset < 0 {
+		return nil, fmt.Errorf("serving: negative arrival offset %v", spec.Offset)
+	}
 	models := spec.Models
 	if len(models) == 0 {
 		for _, m := range defaultSuite() {
@@ -111,15 +120,16 @@ func (s *Server) Generate(spec Spec, rng *rand.Rand) ([]*workload.Task, error) {
 	// load / meanService.
 	rate := spec.OfferedLoad / mean // arrivals per cycle
 	horizon := s.cfg.Cycles(spec.Horizon)
+	offset := s.cfg.Cycles(spec.Offset)
 	var tasks []*workload.Task
 	var at float64
 	id := 0
 	for {
 		at += rng.ExpFloat64() / rate
-		arrival := int64(at)
-		if arrival >= horizon {
+		if int64(at) >= horizon {
 			break
 		}
+		arrival := offset + int64(at)
 		name := models[rng.IntN(len(models))]
 		b := batches[rng.IntN(len(batches))]
 		prio := sched.Priorities[rng.IntN(len(sched.Priorities))]
@@ -131,11 +141,16 @@ func (s *Server) Generate(spec Spec, rng *rand.Rand) ([]*workload.Task, error) {
 		id++
 	}
 	if len(tasks) == 0 {
-		return nil, fmt.Errorf("serving: horizon %v too short for load %v",
-			spec.Horizon, spec.OfferedLoad)
+		return nil, fmt.Errorf("serving: horizon %v too short for load %v: %w",
+			spec.Horizon, spec.OfferedLoad, errNoArrivals)
 	}
 	return tasks, nil
 }
+
+// errNoArrivals marks a generated window that produced no requests; a
+// ramp tolerates such a segment (a trough can legitimately be empty)
+// while single-spec entry points keep reporting it as an error.
+var errNoArrivals = errors.New("no arrivals")
 
 func defaultSuite() []string {
 	return []string{"CNN-AN", "CNN-GN", "CNN-VN", "CNN-MN",

@@ -10,7 +10,7 @@ import (
 	"repro/internal/workload"
 )
 
-func newServer(t *testing.T) *Server {
+func newServer(t testing.TB) *Server {
 	t.Helper()
 	cfg := npu.DefaultConfig()
 	gen, err := workload.NewGenerator(cfg, 0xA11CE)

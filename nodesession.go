@@ -49,16 +49,57 @@ type NodeSessionConfig struct {
 	// Seed drives the session's request sampling deterministically; 0
 	// selects a fixed default.
 	Seed uint64
+	// Autoscale attaches an SLO-driven scaling policy: the fleet grows
+	// and shrinks between the configured bounds as the stream advances,
+	// NPUs is the starting size, and Stats gains a scaling timeline.
+	// nil keeps the fleet fixed. Closed-loop clients (OfferClients) pin
+	// to their NPU and are rejected on autoscaling nodes.
+	Autoscale *AutoscaleConfig
 }
 
 // NodeSessionStats are a node session's steady-state statistics: the
 // aggregate over every NPU's measured requests plus each NPU's own
 // view. The aggregate throughput window is the slowest NPU's makespan.
 type NodeSessionStats struct {
+	// SessionStats is the node-wide aggregate over the union of every
+	// NPU's measured requests.
 	SessionStats
-	// PerNPU holds each accelerator's statistics over its routed share.
-	// An NPU that served nothing reports a zero entry.
+	// PerNPU holds each accelerator's statistics over its routed share —
+	// including backends a scale-down retired. An NPU that served
+	// nothing reports a zero entry.
 	PerNPU []SessionStats
+	// Scaling is the autoscaler's timeline view; nil unless the session
+	// was opened with an AutoscaleConfig.
+	Scaling *ScalingStats
+}
+
+// ScalingStats is an autoscaled node session's fleet timeline.
+type ScalingStats struct {
+	// Events is the fleet timeline in stream milliseconds: an anchor at
+	// 0 with the initial count, then one entry per applied change.
+	Events []ScaleEventMS
+	// SLOLatencyMS is the configured P95 target in milliseconds.
+	SLOLatencyMS float64
+	// SLOViolationFrac is the fraction of measured requests whose
+	// realized latency exceeded the SLO.
+	SLOViolationFrac float64
+	// MeanNPUs is the time-weighted mean active fleet size over the
+	// run's makespan.
+	MeanNPUs float64
+	// PeakNPUs is the largest active fleet size reached.
+	PeakNPUs int
+}
+
+// ScaleEventMS is one applied fleet change on the stream clock.
+type ScaleEventMS struct {
+	// AtMS is the evaluation tick the change applied at, in stream
+	// milliseconds.
+	AtMS float64
+	// Delta is the applied change in active backends (0 only on the
+	// initial anchor).
+	Delta int
+	// NPUs is the active fleet size after the change.
+	NPUs int
 }
 
 // NodeSession is an open node-level serving endpoint over one System.
@@ -90,14 +131,22 @@ func (s *System) OpenNode(cfg NodeSessionConfig) (*NodeSession, error) {
 			return nil, err
 		}
 	}
+	var scale *serving.AutoscaleConfig
+	if cfg.Autoscale != nil {
+		if err := cfg.Autoscale.Validate(); err != nil {
+			return nil, err
+		}
+		scale = cfg.Autoscale.toServing()
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 0x5E55
 	}
 	srv := serving.NewServer(s.opt.NPU, s.opt.Sched, s.gen)
 	inner, err := srv.OpenNode(serving.NodeConfig{
-		NPUs:    cfg.NPUs,
-		Routing: routing,
+		NPUs:      cfg.NPUs,
+		Routing:   routing,
+		Autoscale: scale,
 		Session: serving.SessionConfig{
 			Policy:         string(cfg.Scheduler.Policy),
 			Preemptive:     cfg.Scheduler.Preemptive,
@@ -171,6 +220,27 @@ func (ns *NodeSession) OfferLoad(load float64, horizon time.Duration) (int, erro
 	return n, nil
 }
 
+// OfferRamp drives a piecewise-constant offered-load profile — the
+// diurnal/burst scenario autoscaling exists for. Segment i offers
+// loads[i] (normalized to a single NPU's capacity) over its own
+// segment-length window, chained in arrival order through the node's
+// router; a segment whose sampled window is empty is skipped. Requests
+// arrive at batch size 1. It returns how many requests arrived across
+// the whole ramp.
+func (ns *NodeSession) OfferRamp(loads []float64, segment time.Duration) (int, error) {
+	n, err := ns.inner.OfferRamp(serving.Spec{
+		Horizon:        segment,
+		Models:         ns.models,
+		BatchSizes:     []int{1},
+		WarmupFraction: 0, // warm-up is the session's, not the spec's
+	}, loads, ns.rng)
+	if err != nil {
+		return 0, err
+	}
+	ns.nextID += n
+	return n, nil
+}
+
 // OfferClients drives a closed-loop client population across the node:
 // each client pins to an NPU (round-robin affinity) and keeps exactly
 // one request in flight, releasing the next one an exponential think
@@ -205,7 +275,7 @@ func (ns *NodeSession) Stats() (NodeSessionStats, error) {
 	if err != nil {
 		return NodeSessionStats{}, err
 	}
-	return flattenNodeStats(st), nil
+	return ns.flattenNodeStats(st), nil
 }
 
 // Drain computes final statistics and seals the node session against
@@ -215,19 +285,33 @@ func (ns *NodeSession) Drain() (NodeSessionStats, error) {
 	if err != nil {
 		return NodeSessionStats{}, err
 	}
-	return flattenNodeStats(st), nil
+	return ns.flattenNodeStats(st), nil
 }
 
 // Close seals the node session. Close is idempotent.
 func (ns *NodeSession) Close() error { return ns.inner.Close() }
 
-func flattenNodeStats(st serving.NodeStats) NodeSessionStats {
+func (ns *NodeSession) flattenNodeStats(st serving.NodeStats) NodeSessionStats {
 	out := NodeSessionStats{
 		SessionStats: flattenStats(st.BatchStats),
 		PerNPU:       make([]SessionStats, len(st.PerNPU)),
 	}
 	for i, per := range st.PerNPU {
 		out.PerNPU[i] = flattenStats(per)
+	}
+	if st.Scaling != nil {
+		cfg := ns.sys.opt.NPU
+		sc := &ScalingStats{
+			Events:           make([]ScaleEventMS, len(st.Scaling.Events)),
+			SLOLatencyMS:     st.Scaling.SLOLatencyMS,
+			SLOViolationFrac: st.Scaling.SLOViolationFrac,
+			MeanNPUs:         st.Scaling.MeanNPUs,
+			PeakNPUs:         st.Scaling.PeakNPUs,
+		}
+		for i, e := range st.Scaling.Events {
+			sc.Events[i] = ScaleEventMS{AtMS: cfg.Millis(e.Cycle), Delta: e.Delta, NPUs: e.NPUs}
+		}
+		out.Scaling = sc
 	}
 	return out
 }

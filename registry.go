@@ -1,15 +1,17 @@
 package prema
 
 // registry.go is the plugin surface: custom scheduling policies,
-// preemption-mechanism selectors and execution-time estimators register
-// here and then participate everywhere a builtin does — Simulate,
-// SimulateNode, sessions, the experiment suite — selected by the same
-// typed identifiers. The six paper policies and the paper's mechanism
-// configurations are pre-registered through the same internal
-// registries, so builtins and plugins are indistinguishable to the rest
-// of the system.
+// preemption-mechanism selectors, execution-time estimators and
+// autoscaling policies register here and then participate everywhere a
+// builtin does — Simulate, SimulateNode, sessions, autoscaled node
+// sessions, the experiment suite — selected by the same typed
+// identifiers. The six paper policies, the paper's mechanism
+// configurations and the built-in scalers are pre-registered through
+// the same internal registries, so builtins and plugins are
+// indistinguishable to the rest of the system.
 
 import (
+	"repro/internal/autoscale"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -49,6 +51,20 @@ func RegisterEstimator(name string, est Estimator) error {
 	return workload.RegisterEstimator(name, est)
 }
 
+// ScalerFactory builds one autoscaling-policy instance for one node
+// session. Factories must return a fresh instance per call: scalers may
+// keep scratch state between evaluation ticks (integrators, hysteresis
+// counters), so an instance must never be shared by two sessions.
+type ScalerFactory func(ScalerConfig) (Scaler, error)
+
+// RegisterScaler adds a custom autoscaling policy under a label; it
+// then works as AutoscaleConfig.Scaler in any node session, alongside
+// the built-in "static", "target-latency" and "queue-depth" scalers.
+// Registration is process-wide and write-once.
+func RegisterScaler(name string, factory ScalerFactory) error {
+	return autoscale.Register(name, autoscale.Factory(factory))
+}
+
 // Policies lists the registered scheduling-policy labels in sorted
 // order (builtins plus registrations).
 func Policies() []string { return sched.PolicyNames() }
@@ -60,3 +76,7 @@ func Mechanisms() []string { return sched.SelectorNames() }
 // Estimators lists the selectable estimator labels in sorted order
 // (builtins plus registrations).
 func Estimators() []string { return workload.EstimatorNames() }
+
+// Scalers lists the registered autoscaling-policy labels in sorted
+// order (builtins plus registrations).
+func Scalers() []string { return autoscale.Names() }

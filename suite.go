@@ -112,6 +112,8 @@ func newSuite(inner *exp.Suite, opt SuiteOptions) (*Suite, error) {
 
 // ExperimentInfo identifies one registered experiment.
 type ExperimentInfo struct {
+	// ID is the registry key passed to Suite.Run; Title describes what
+	// the experiment regenerates.
 	ID, Title string
 }
 

@@ -8,6 +8,7 @@ package prema
 // build on the facade alone.
 
 import (
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/dnn"
 	"repro/internal/metrics"
@@ -60,6 +61,17 @@ type (
 	Metrics = metrics.Run
 	// NPUStats summarizes one accelerator's share of a node run.
 	NPUStats = cluster.NPUStats
+	// Scaler is the autoscaling-policy decision interface custom
+	// scalers implement (see RegisterScaler).
+	Scaler = autoscale.Policy
+	// ScalerConfig parameterizes scaler construction (the SLO in
+	// milliseconds).
+	ScalerConfig = autoscale.Config
+	// ScalerMetrics is the per-tick load snapshot a Scaler observes.
+	ScalerMetrics = autoscale.Metrics
+	// ScaleDelta is a scaler's decision: the signed change in active
+	// backend count it wants.
+	ScaleDelta = autoscale.Delta
 )
 
 // Priority levels (Table II assigns 1/3/9 scheduling tokens).

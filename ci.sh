@@ -20,7 +20,7 @@ go test ./...
 # The streaming node-session paths (per-NPU session backends, the
 # shared router, closed-loop injection, autoscaling) are
 # concurrency-sensitive: race-check them on every run.
-go test -race ./internal/serving/... ./internal/cluster/... ./internal/autoscale/...
+go test -race ./internal/serving/... ./internal/cluster/... ./internal/autoscale/... ./internal/scenario/...
 
 # The examples are the public-API consumers: every one must build and
 # run to completion against the current facade.
@@ -36,6 +36,11 @@ go run ./cmd/premasim -policy PREMA -preemptive -tasks 4 -timeline=false >/dev/n
 go run ./cmd/premasim -npus 2 -routing least-work -policy FCFS -tasks 6 >/dev/null
 go run ./cmd/premasim -npus 2 -routing least-queued -policy PREMA -preemptive -clients 4 -think 2ms -serve-horizon 150ms >/dev/null
 go run ./cmd/premasim -autoscale queue-depth -slo 8ms -min-npus 1 -max-npus 4 -policy FCFS -serve-horizon 150ms >/dev/null
+# Scenario smoke: the corpus doubles as a regression suite — every file
+# must parse, run and pass its assertions (non-zero exit otherwise).
+for scn in scenarios/*.txt; do
+	go run ./cmd/premasim -scenario "$scn" >/dev/null
+done
 echo "smoke: cmd/premazoo"
 go run ./cmd/premazoo -config >/dev/null
 echo "smoke: cmd/premapredict"

@@ -8,9 +8,16 @@
 //	premasim -policy FCFS -tasks 8
 //	premasim -npus 4 -routing least-work -policy PREMA -preemptive
 //	premasim -autoscale queue-depth -slo 8ms -min-npus 1 -max-npus 4
+//	premasim -scenario scenarios/single-failure.txt
+//
+// With -scenario the command executes a declarative chaos scenario
+// (fleet, scheduler, load ramp, fault injections, assertions — see the
+// scenarios/ corpus), prints the annotated fleet timeline with the
+// assertion verdicts, and exits non-zero if any assertion failed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,79 +28,26 @@ import (
 )
 
 func main() {
-	var (
-		policyFlag = flag.String("policy", "PREMA",
-			"scheduling policy: "+strings.Join(prema.Policies(), "|"))
-		preemptive = flag.Bool("preemptive", false, "enable the preemptible-NPU path")
-		mechFlag   = flag.String("mechanism", "dynamic",
-			"preemption mechanism selector: "+strings.Join(prema.Mechanisms(), "|"))
-		nTasks   = flag.Int("tasks", 8, "number of co-scheduled inference tasks")
-		seed     = flag.Int("seed", 1, "workload seed (run index)")
-		windowMS = flag.Int("window", 20, "arrival window in milliseconds")
-		batch    = flag.Int("batch", 0, "fix all batch sizes (0 = mixed 1/4/16)")
-		oracle   = flag.Bool("oracle", false, "use exact execution times as estimates")
-		timeline = flag.Bool("timeline", true, "render the ASCII occupancy timeline")
-		quantum  = flag.Duration("quantum", 250*time.Microsecond, "scheduling period time-quota")
-		npus     = flag.Int("npus", 1, "NPUs in the node (>1 enables the cluster router)")
-		routing  = flag.String("routing", "least-work",
-			"cluster routing policy: round-robin|least-queued|least-work")
-		parallel = flag.Int("parallel", 0,
-			"concurrent per-NPU simulations in the cluster path (0 = GOMAXPROCS, 1 = sequential; results identical)")
-		clients = flag.Int("clients", 0,
-			"closed-loop client population (>0 switches to the streaming node session: each client keeps one request in flight)")
-		think = flag.Duration("think", 2*time.Millisecond,
-			"mean exponential think time between a completion and the same client's next request")
-		serveHorizon = flag.Duration("serve-horizon", 250*time.Millisecond,
-			"streaming horizon: closed-loop release window, or the full autoscale load ramp")
-		autoscaleFlag = flag.String("autoscale", "",
-			"autoscaling policy (switches to an elastic node session under a load ramp): "+
-				strings.Join(prema.Scalers(), "|"))
-		slo = flag.Duration("slo", 8*time.Millisecond,
-			"P95 latency SLO the autoscaler targets")
-		minNPUs = flag.Int("min-npus", 1, "autoscaling fleet minimum")
-		maxNPUs = flag.Int("max-npus", 4, "autoscaling fleet maximum")
-	)
-	flag.Parse()
-
-	// Misconfigured flag combinations fail loudly instead of being
-	// silently ignored.
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if set["routing"] && *npus == 1 && *clients == 0 && *autoscaleFlag == "" {
-		fatal(fmt.Errorf("-routing needs a multi-NPU node: combine it with -npus > 1, -clients or -autoscale"))
-	}
-	if *clients > 0 && *serveHorizon <= 0 {
-		fatal(fmt.Errorf("-clients %d needs a positive -serve-horizon (got %v): no request could ever be released",
-			*clients, *serveHorizon))
-	}
-	if *autoscaleFlag != "" && *clients > 0 {
-		fatal(fmt.Errorf("-autoscale and -clients are mutually exclusive: closed-loop clients pin to their NPU, autoscaling requires routed traffic"))
-	}
-	if *autoscaleFlag != "" && *serveHorizon <= 0 {
-		fatal(fmt.Errorf("-autoscale needs a positive -serve-horizon (got %v) to spread the load ramp over", *serveHorizon))
-	}
-	if *autoscaleFlag == "" && (set["slo"] || set["min-npus"] || set["max-npus"]) {
-		fatal(fmt.Errorf("-slo/-min-npus/-max-npus only apply to autoscaling runs: add -autoscale <scaler> (known: %s)",
-			strings.Join(prema.Scalers(), "|")))
-	}
-	if *autoscaleFlag != "" || *clients > 0 {
-		for _, name := range []string{"tasks", "window", "batch", "oracle", "parallel", "timeline"} {
-			if set[name] {
-				fatal(fmt.Errorf("-%s only applies to batch simulation runs; it has no effect with -autoscale/-clients", name))
-			}
+	c, err := parseCLI(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
 		}
-	}
-	if *autoscaleFlag != "" && set["think"] {
-		fatal(fmt.Errorf("-think only applies to closed-loop runs (-clients)"))
+		fatal(err)
 	}
 
-	sys, err := prema.NewSystem(prema.WithQuantum(*quantum))
+	if c.scenario != "" {
+		runScenario(c.scenario)
+		return
+	}
+
+	sys, err := prema.NewSystem(prema.WithQuantum(c.quantum))
 	if err != nil {
 		fatal(err)
 	}
 	cfg := sys.NPU()
 
-	policy, err := prema.ParsePolicy(*policyFlag)
+	policy, err := prema.ParsePolicy(c.policy)
 	if err != nil {
 		fatal(err)
 	}
@@ -101,11 +55,9 @@ func main() {
 	// mechanism without -preemptive is rejected by Validate instead of
 	// being silently ignored (the flag's default only applies to
 	// preemptive runs).
-	mechSet := false
-	flag.Visit(func(f *flag.Flag) { mechSet = mechSet || f.Name == "mechanism" })
-	sched := prema.Scheduler{Policy: policy, Preemptive: *preemptive}
-	if *preemptive || mechSet {
-		if sched.Mechanism, err = prema.ParseMechanism(*mechFlag); err != nil {
+	sched := prema.Scheduler{Policy: policy, Preemptive: c.preemptive}
+	if c.preemptive || c.set["mechanism"] {
+		if sched.Mechanism, err = prema.ParseMechanism(c.mechanism); err != nil {
 			fatal(err)
 		}
 	}
@@ -113,60 +65,60 @@ func main() {
 		fatal(err)
 	}
 
-	if *autoscaleFlag != "" {
-		route, err := prema.ParseRouting(*routing)
+	if c.autoscale != "" {
+		route, err := prema.ParseRouting(c.routing)
 		if err != nil {
 			fatal(err)
 		}
 		runAutoscale(sys, prema.NodeSessionConfig{
-			NPUs: *npus, Routing: route, Scheduler: sched,
+			NPUs: c.npus, Routing: route, Scheduler: sched,
 			// The light interactive mix: single-digit-millisecond SLOs
 			// are unattainable for the heavy translation/ASR RNNs at any
 			// fleet size.
 			Models:  []string{"CNN-AN", "CNN-GN", "CNN-MN", "RNN-SA"},
-			Horizon: *serveHorizon, Seed: uint64(*seed),
+			Horizon: c.serveHorizon, Seed: uint64(c.seed),
 			Autoscale: &prema.AutoscaleConfig{
-				Scaler: *autoscaleFlag, SLO: *slo,
-				MinNPUs: *minNPUs, MaxNPUs: *maxNPUs,
+				Scaler: c.autoscale, SLO: c.slo,
+				MinNPUs: c.minNPUs, MaxNPUs: c.maxNPUs,
 			},
-		}, *serveHorizon)
+		}, c.serveHorizon)
 		return
 	}
 
-	if *clients > 0 {
-		route, err := prema.ParseRouting(*routing)
+	if c.clients > 0 {
+		route, err := prema.ParseRouting(c.routing)
 		if err != nil {
 			fatal(err)
 		}
 		runClosedLoop(sys, prema.NodeSessionConfig{
-			NPUs: *npus, Routing: route, Scheduler: sched,
-			Horizon: *serveHorizon, Seed: uint64(*seed),
-		}, *clients, *think, *serveHorizon)
+			NPUs: c.npus, Routing: route, Scheduler: sched,
+			Horizon: c.serveHorizon, Seed: uint64(c.seed),
+		}, c.clients, c.think, c.serveHorizon)
 		return
 	}
 
 	spec := prema.WorkloadSpec{
-		Tasks:         *nTasks,
-		ArrivalWindow: time.Duration(*windowMS) * time.Millisecond,
+		Tasks:         c.tasks,
+		ArrivalWindow: time.Duration(c.windowMS) * time.Millisecond,
 	}
-	if *batch > 0 {
-		spec.BatchSizes = []int{*batch}
+	if c.batch > 0 {
+		spec.BatchSizes = []int{c.batch}
 	}
-	if *oracle {
+	if c.oracle {
 		spec.Estimator = "oracle"
 	}
-	tasks, err := sys.Workload(spec, *seed)
+	tasks, err := sys.Workload(spec, c.seed)
 	if err != nil {
 		fatal(err)
 	}
 
-	if *npus > 1 {
-		route, err := prema.ParseRouting(*routing)
+	if c.npus > 1 {
+		route, err := prema.ParseRouting(c.routing)
 		if err != nil {
 			fatal(err)
 		}
 		runNode(sys, prema.Node{
-			NPUs: *npus, Routing: route, Local: sched, Parallel: *parallel,
+			NPUs: c.npus, Routing: route, Local: sched, Parallel: c.parallel,
 		}, tasks)
 		return
 	}
@@ -177,11 +129,11 @@ func main() {
 	}
 
 	mech := "none"
-	if *preemptive {
+	if c.preemptive {
 		mech = sched.Mechanism.String()
 	}
 	fmt.Printf("policy=%s preemptive=%v mechanism=%s tasks=%d makespan=%.2fms wakes=%d preemptions=%d\n\n",
-		policy, *preemptive, mech, *nTasks,
+		policy, c.preemptive, mech, c.tasks,
 		cfg.Millis(res.MakespanCycles), res.Wakes, res.ServicedPreemptions())
 
 	fmt.Printf("%-4s %-8s %-4s %-8s %-10s %-10s %-10s %-8s %-6s\n",
@@ -197,9 +149,34 @@ func main() {
 		res.Metrics.ANTT, res.Metrics.STP, res.Metrics.Fairness,
 		res.SLAViolationRate(4)*100, res.SLAViolationRate(8)*100)
 
-	if *timeline {
+	if c.timeline {
 		fmt.Println()
 		fmt.Print(res.Timeline.Render(cfg, 100))
+	}
+}
+
+// runScenario executes one declarative chaos scenario file and prints
+// its report; a failed assertion exits non-zero.
+func runScenario(path string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := prema.ParseScenario(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := prema.NewSystem()
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := sys.RunScenario(sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Render())
+	if !rep.Passed {
+		os.Exit(1)
 	}
 }
 

@@ -47,11 +47,15 @@ func NewRouter(p RoutingPolicy) (Router, error) {
 // routed to it (estimated cycles, the same Algorithm 1 estimates the
 // NPU-local schedulers consume).
 //
-// The NPU set is dynamic: AddNPU grows it mid-stream and Retire marks a
-// backend draining — draining backends keep their fluid horizons (their
-// routed work still completes) but every Router skips them, so no new
-// work lands there. A node that never scales (the batch Route path, a
-// scaler-less session) sees the original fixed-fleet behaviour exactly.
+// The NPU set is dynamic: AddNPU grows it mid-stream; Retire marks a
+// backend draining (the autoscaler's voluntary scale-down — its routed
+// work still completes but nothing new lands there); Cordon takes a
+// backend out of rotation reversibly (Uncordon returns it) without the
+// scale-down accounting; Fail removes a backend involuntarily, handing
+// its not-yet-drained work back to the caller for re-routing. Routers
+// skip every non-Routable backend. A node that never scales (the batch
+// Route path, a scaler-less session) sees the original fixed-fleet
+// behaviour exactly.
 type State struct {
 	// freeAt is the fluid completion horizon per NPU.
 	freeAt []int64
@@ -65,8 +69,22 @@ type State struct {
 	heads    []int
 	// draining marks retired backends; routers route nothing new to them.
 	draining []bool
-	// active counts the non-draining backends.
+	// cordoned marks backends taken out of rotation reversibly; routers
+	// skip them until Uncordon.
+	cordoned []bool
+	// failed marks backends lost involuntarily; their fluid state is gone
+	// and they never serve again.
+	failed []bool
+	// active counts the routable backends (neither draining, cordoned nor
+	// failed).
 	active int
+	// track enables the work ledger below; the chaos-free paths leave it
+	// off and pay nothing extra on the commit path.
+	track bool
+	// work remembers, per NPU, the task behind every horizons entry (same
+	// index), so Fail can reclaim the requests whose fluid work had not
+	// drained at the failure instant.
+	work [][]*workload.Task
 }
 
 // NewState returns the fluid state of an idle node with the given NPU
@@ -77,11 +95,13 @@ func NewState(npus int) *State {
 		horizons: make([][]int64, npus),
 		heads:    make([]int, npus),
 		draining: make([]bool, npus),
+		cordoned: make([]bool, npus),
+		failed:   make([]bool, npus),
 		active:   npus,
 	}
 }
 
-// NPUs reports the node size, including draining backends.
+// NPUs reports the node size, including draining and failed backends.
 func (s *State) NPUs() int { return len(s.freeAt) }
 
 // Active reports how many backends accept new work.
@@ -91,27 +111,68 @@ func (s *State) Active() int { return s.active }
 // still drains, but routers send nothing new to it.
 func (s *State) Draining(i int) bool { return s.draining[i] }
 
+// Cordoned reports whether backend i is cordoned out of rotation.
+func (s *State) Cordoned(i int) bool { return s.cordoned[i] }
+
+// Failed reports whether backend i was lost to an injected failure.
+func (s *State) Failed(i int) bool { return s.failed[i] }
+
+// Routable reports whether routers may send new work to backend i.
+func (s *State) Routable(i int) bool {
+	return !s.draining[i] && !s.cordoned[i] && !s.failed[i]
+}
+
+// TrackWork makes the state remember which task sits behind every fluid
+// horizon entry, which is what lets Fail reclaim the work that had not
+// drained when a backend is lost. Tracking must be enabled before any
+// work is committed; enabling it mid-stream would leave untracked
+// horizons that a failure could not reclaim.
+func (s *State) TrackWork() error {
+	for i := range s.horizons {
+		if len(s.horizons[i]) > 0 {
+			return fmt.Errorf("cluster: work tracking must be enabled before any work is routed")
+		}
+	}
+	s.track = true
+	if s.work == nil {
+		s.work = make([][]*workload.Task, len(s.freeAt))
+	}
+	return nil
+}
+
 // AddNPU appends a fresh idle backend to the node mid-stream (the
-// autoscaler's scale-up path) and returns its index.
+// autoscaler's scale-up path) and returns its index. The new backend
+// carries no state from any previously failed or retired slot.
 func (s *State) AddNPU() int {
 	s.freeAt = append(s.freeAt, 0)
 	s.horizons = append(s.horizons, nil)
 	s.heads = append(s.heads, 0)
 	s.draining = append(s.draining, false)
+	s.cordoned = append(s.cordoned, false)
+	s.failed = append(s.failed, false)
+	if s.track {
+		s.work = append(s.work, nil)
+	}
 	s.active++
 	return len(s.freeAt) - 1
 }
 
-// Retire marks backend i draining (the autoscaler's scale-down path):
-// its already-routed work keeps its fluid horizons, but every Router
-// skips it from now on. Retiring the last active backend is refused —
-// a node must always accept work.
+// Retire marks backend i draining (the autoscaler's voluntary
+// scale-down path): its already-routed work keeps its fluid horizons,
+// but every Router skips it from now on. Retiring the last active
+// backend is refused — a node must always accept work.
 func (s *State) Retire(i int) error {
 	if i < 0 || i >= len(s.freeAt) {
 		return fmt.Errorf("cluster: retire of unknown NPU %d (node size %d)", i, len(s.freeAt))
 	}
+	if s.failed[i] {
+		return fmt.Errorf("cluster: NPU %d has failed", i)
+	}
 	if s.draining[i] {
 		return fmt.Errorf("cluster: NPU %d already draining", i)
+	}
+	if s.cordoned[i] {
+		return fmt.Errorf("cluster: NPU %d is cordoned; uncordon it before retiring", i)
 	}
 	if s.active <= 1 {
 		return fmt.Errorf("cluster: cannot retire the last active NPU")
@@ -119,6 +180,82 @@ func (s *State) Retire(i int) error {
 	s.draining[i] = true
 	s.active--
 	return nil
+}
+
+// Cordon takes backend i out of rotation without the scale-down
+// accounting: its routed work keeps draining, no new work lands on it,
+// and Uncordon returns it to service. Cordoning the last active backend
+// is refused — a node must always accept work.
+func (s *State) Cordon(i int) error {
+	if i < 0 || i >= len(s.freeAt) {
+		return fmt.Errorf("cluster: cordon of unknown NPU %d (node size %d)", i, len(s.freeAt))
+	}
+	if s.failed[i] {
+		return fmt.Errorf("cluster: NPU %d has failed", i)
+	}
+	if s.draining[i] {
+		return fmt.Errorf("cluster: NPU %d is draining", i)
+	}
+	if s.cordoned[i] {
+		return fmt.Errorf("cluster: NPU %d already cordoned", i)
+	}
+	if s.active <= 1 {
+		return fmt.Errorf("cluster: cannot cordon the last active NPU")
+	}
+	s.cordoned[i] = true
+	s.active--
+	return nil
+}
+
+// Uncordon returns a cordoned backend to rotation.
+func (s *State) Uncordon(i int) error {
+	if i < 0 || i >= len(s.freeAt) {
+		return fmt.Errorf("cluster: uncordon of unknown NPU %d (node size %d)", i, len(s.freeAt))
+	}
+	if !s.cordoned[i] {
+		return fmt.Errorf("cluster: NPU %d is not cordoned", i)
+	}
+	s.cordoned[i] = false
+	s.active++
+	return nil
+}
+
+// Fail removes backend i involuntarily at cycle now — the chaos
+// counterpart of Retire. Work whose fluid horizon had already drained by
+// now stays completed on the lost backend; everything still in flight is
+// returned, in its original routing (arrival) order, for the caller to
+// re-submit through the router. The backend's fluid state is cleared:
+// nothing of a failed slot is ever reused (AddNPU appends fresh slots).
+// Failing the last active backend is refused — that would leave the
+// routers with zero routable NPUs.
+func (s *State) Fail(i int, now int64) ([]*workload.Task, error) {
+	if i < 0 || i >= len(s.freeAt) {
+		return nil, fmt.Errorf("cluster: failure of unknown NPU %d (node size %d)", i, len(s.freeAt))
+	}
+	if s.failed[i] {
+		return nil, fmt.Errorf("cluster: NPU %d already failed", i)
+	}
+	if !s.track {
+		return nil, fmt.Errorf("cluster: failure injection requires work tracking (State.TrackWork)")
+	}
+	if s.Routable(i) && s.active <= 1 {
+		return nil, fmt.Errorf("cluster: cannot fail the last active NPU")
+	}
+	// Horizons drained by now completed before the failure; the rest is
+	// lost in flight and reclaimed. The ledger shares the horizons'
+	// head cursor, so the split is one scan from the live head.
+	h := s.horizons[i]
+	head := s.heads[i]
+	for head < len(h) && h[head] <= now {
+		head++
+	}
+	reclaimed := append([]*workload.Task(nil), s.work[i][head:len(h)]...)
+	if s.Routable(i) {
+		s.active--
+	}
+	s.failed[i] = true
+	s.horizons[i], s.work[i], s.heads[i], s.freeAt[i] = nil, nil, 0, 0
+	return reclaimed, nil
 }
 
 // FreeAt reports backend i's fluid completion horizon: the cycle at
@@ -135,10 +272,20 @@ func (s *State) InFlight(i int, now int64) int {
 		head++
 	}
 	// Compact once the drained prefix dominates, so a long-lived
-	// streaming session does not hold every horizon it ever routed.
+	// streaming session does not hold every horizon it ever routed. The
+	// work ledger shares the indexing and compacts in lockstep (with its
+	// tail zeroed so drained tasks are not pinned in memory).
 	if head > 64 && head*2 >= len(h) {
 		n := copy(h, h[head:])
 		s.horizons[i] = h[:n]
+		if s.track {
+			w := s.work[i]
+			copy(w, w[head:])
+			for j := n; j < len(w); j++ {
+				w[j] = nil
+			}
+			s.work[i] = w[:n]
+		}
 		head = 0
 	}
 	s.heads[i] = head
@@ -163,10 +310,13 @@ func (s *State) Commit(target int, t *workload.Task) {
 	}
 	s.freeAt[target] = start + t.EstimatedCycles
 	s.horizons[target] = append(s.horizons[target], s.freeAt[target])
+	if s.track {
+		s.work[target] = append(s.work[target], t)
+	}
 }
 
-// roundRobinRouter cycles through the non-draining NPUs in dispatch
-// order. On a fixed fleet the cursor walk is the original modulo step.
+// roundRobinRouter cycles through the routable NPUs in dispatch order.
+// On a fixed fleet the cursor walk is the original modulo step.
 type roundRobinRouter struct {
 	next int
 }
@@ -176,22 +326,22 @@ func (r *roundRobinRouter) Decide(_ *workload.Task, st *State) int {
 	for tries := 0; tries < n; tries++ {
 		target := r.next % n
 		r.next++
-		if !st.Draining(target) {
+		if st.Routable(target) {
 			return target
 		}
 	}
 	return 0 // unreachable while the state keeps one active backend
 }
 
-// leastQueuedRouter routes to the non-draining NPU with the fewest
-// requests whose (estimated) work has not yet drained at the arrival
-// instant. Ties go to the lowest NPU index.
+// leastQueuedRouter routes to the routable NPU with the fewest requests
+// whose (estimated) work has not yet drained at the arrival instant.
+// Ties go to the lowest NPU index.
 type leastQueuedRouter struct{}
 
 func (leastQueuedRouter) Decide(t *workload.Task, st *State) int {
 	best, bestN := 0, int(1<<30)
 	for i := 0; i < st.NPUs(); i++ {
-		if st.Draining(i) {
+		if !st.Routable(i) {
 			continue
 		}
 		if n := st.InFlight(i, t.Arrival); n < bestN {
@@ -201,15 +351,15 @@ func (leastQueuedRouter) Decide(t *workload.Task, st *State) int {
 	return best
 }
 
-// leastWorkRouter routes to the non-draining NPU with the least
-// estimated backlog in cycles — the predictive router built on
-// Algorithm 1's estimates. Ties go to the lowest NPU index.
+// leastWorkRouter routes to the routable NPU with the least estimated
+// backlog in cycles — the predictive router built on Algorithm 1's
+// estimates. Ties go to the lowest NPU index.
 type leastWorkRouter struct{}
 
 func (leastWorkRouter) Decide(t *workload.Task, st *State) int {
 	best, bestWork := 0, int64(1<<62)
 	for i := 0; i < st.NPUs(); i++ {
-		if st.Draining(i) {
+		if !st.Routable(i) {
 			continue
 		}
 		if w := st.Backlog(i, t.Arrival); w < bestWork {

@@ -1,0 +1,187 @@
+package scenario
+
+// assert.go is the scenario assertion engine: each assertion is a
+// machine-checkable claim about the run — the SLO-violation fraction,
+// the fleet-size envelope over a window, or recovery from the first
+// disruption by a deadline — evaluated against the node's fleet
+// timeline and served statistics. A failed assertion fails the report,
+// never the run: chaos scenarios exist to observe degraded behaviour,
+// so the executor always finishes and reports.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/serving"
+)
+
+// AssertKind identifies an assertion form.
+type AssertKind int
+
+const (
+	// AssertSLO bounds the fraction of measured requests exceeding the
+	// scaler's latency SLO: slo_violation_frac < Max. It requires an
+	// attached scaler (the SLO defines the fraction).
+	AssertSLO AssertKind = iota
+	// AssertFleetBetween bounds the routable fleet size over a window:
+	// Lo <= fleet <= Hi at every instant of [From, To].
+	AssertFleetBetween
+	// AssertRecoveredBy requires the routable fleet to have returned to
+	// at least its size before the first disruption (the first fail or
+	// cordon event) at some instant by the deadline By — a later
+	// voluntary scale-down does not undo recovery. It passes vacuously
+	// when the scenario injects no disruption.
+	AssertRecoveredBy
+)
+
+// Assertion is one pass/fail condition of a scenario.
+type Assertion struct {
+	// Kind selects the form; the fields below apply per kind.
+	Kind AssertKind
+	// Max is AssertSLO's exclusive violation-fraction bound.
+	Max float64
+	// Lo, Hi, From, To are AssertFleetBetween's envelope and window.
+	Lo, Hi   int
+	From, To time.Duration
+	// By is AssertRecoveredBy's deadline.
+	By time.Duration
+}
+
+// String renders the assertion in the scenario text form.
+func (a Assertion) String() string {
+	switch a.Kind {
+	case AssertSLO:
+		return fmt.Sprintf("assert slo_violation_frac < %g", a.Max)
+	case AssertFleetBetween:
+		return fmt.Sprintf("assert fleet between %d %d during %s %s", a.Lo, a.Hi, a.From, a.To)
+	case AssertRecoveredBy:
+		return fmt.Sprintf("assert recovered_by %s", a.By)
+	default:
+		return fmt.Sprintf("assert <unknown kind %d>", int(a.Kind))
+	}
+}
+
+// validate checks the assertion's shape against its scenario.
+func (a Assertion) validate(sc *Scenario) error {
+	switch a.Kind {
+	case AssertSLO:
+		if sc.Scaler == "" {
+			return fmt.Errorf("slo_violation_frac needs a scaler (the SLO defines the fraction)")
+		}
+		if a.Max <= 0 || a.Max > 1 {
+			return fmt.Errorf("violation bound %v outside (0, 1]", a.Max)
+		}
+	case AssertFleetBetween:
+		if a.Lo < 0 || a.Hi < a.Lo {
+			return fmt.Errorf("fleet envelope [%d, %d] is empty", a.Lo, a.Hi)
+		}
+		if a.From < 0 || a.To < a.From {
+			return fmt.Errorf("window [%s, %s] is empty", a.From, a.To)
+		}
+	case AssertRecoveredBy:
+		if a.By <= 0 {
+			return fmt.Errorf("non-positive deadline %v", a.By)
+		}
+	default:
+		return fmt.Errorf("unknown assertion kind %d", int(a.Kind))
+	}
+	return nil
+}
+
+// AssertResult is one evaluated assertion.
+type AssertResult struct {
+	// Expr is the assertion in scenario text form.
+	Expr string
+	// Pass reports whether the claim held.
+	Pass bool
+	// Detail explains the outcome (the observed value, or the violating
+	// instant).
+	Detail string
+}
+
+// fleetAt walks the chronological fleet timeline and answers the
+// routable fleet size at cycle c (events at exactly c have applied).
+func fleetAt(events []serving.NodeEvent, c int64) int {
+	v := 0
+	for _, e := range events {
+		if e.Cycle > c {
+			break
+		}
+		v = e.Active
+	}
+	return v
+}
+
+// evaluate runs every assertion against the run's timeline and stats.
+func (sc *Scenario) evaluate(run *runResult) []AssertResult {
+	out := make([]AssertResult, len(sc.Asserts))
+	for i, a := range sc.Asserts {
+		res := AssertResult{Expr: a.String()}
+		switch a.Kind {
+		case AssertSLO:
+			got := run.stats.Scaling.SLOViolationFrac
+			res.Pass = got < a.Max
+			res.Detail = fmt.Sprintf("violation fraction %.4f (bound %g)", got, a.Max)
+		case AssertFleetBetween:
+			res.Pass, res.Detail = evalFleetBetween(a, run)
+		case AssertRecoveredBy:
+			res.Pass, res.Detail = evalRecoveredBy(a, run)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// evalFleetBetween checks the fleet envelope at the window start and at
+// every fleet change inside the window; between changes the step
+// function is constant, so those instants cover the whole interval.
+func evalFleetBetween(a Assertion, run *runResult) (bool, string) {
+	fromC, toC := run.cycles(a.From), run.cycles(a.To)
+	check := func(v int, at int64) (bool, string) {
+		if v < a.Lo || v > a.Hi {
+			return false, fmt.Sprintf("fleet %d at %.2fms outside [%d, %d]",
+				v, run.millis(at), a.Lo, a.Hi)
+		}
+		return true, ""
+	}
+	if ok, detail := check(fleetAt(run.events, fromC), fromC); !ok {
+		return false, detail
+	}
+	for _, e := range run.events {
+		if e.Cycle <= fromC || e.Cycle > toC {
+			continue
+		}
+		if ok, detail := check(e.Active, e.Cycle); !ok {
+			return false, detail
+		}
+	}
+	return true, fmt.Sprintf("fleet stayed in [%d, %d] over [%s, %s]", a.Lo, a.Hi, a.From, a.To)
+}
+
+// evalRecoveredBy checks whether the fleet returned to its size just
+// before the first disruption (fail or cordon) at any instant up to the
+// deadline; a voluntary scale-down after that instant is the scaler
+// tracking load, not a recovery failure.
+func evalRecoveredBy(a Assertion, run *runResult) (bool, string) {
+	baseline, disruptAt, disrupted := 0, int64(0), false
+	for _, e := range run.events {
+		if e.Kind == "fail" || e.Kind == "cordon" {
+			baseline, disruptAt, disrupted = e.Active-e.Delta, e.Cycle, true
+			break
+		}
+	}
+	if !disrupted {
+		return true, "no disruption injected (vacuous)"
+	}
+	byC, peak := run.cycles(a.By), 0
+	for _, e := range run.events {
+		if e.Cycle > disruptAt && e.Cycle <= byC && e.Active > peak {
+			peak = e.Active
+		}
+	}
+	if peak >= baseline {
+		return true, fmt.Sprintf("fleet reached %d (pre-disruption %d) by %s", peak, baseline, a.By)
+	}
+	return false, fmt.Sprintf("fleet peaked at %d after the disruption, below pre-disruption %d by %s",
+		peak, baseline, a.By)
+}

@@ -1,0 +1,183 @@
+package scenario
+
+// report.go turns a finished scenario run into its verdict: the
+// annotated fleet timeline, the evaluated assertions and the served
+// summary, plus a deterministic ASCII rendering (the premasim -scenario
+// output). Render is pure formatting over the report's fields, so a
+// byte-identical report renders byte-identically — determinism tests
+// compare the rendered text directly.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/serving"
+)
+
+// TimelineEntry is one fleet-timeline event on the wall clock.
+type TimelineEntry struct {
+	// AtMS is the stream instant in milliseconds.
+	AtMS float64
+	// Kind is "start", "scale", "fail", "slowdown", "restore", "cordon"
+	// or "uncordon".
+	Kind string
+	// NPU is the target backend index; -1 for start and scale events.
+	NPU int
+	// Delta is the change in routable backends the event caused.
+	Delta int
+	// Fleet is the routable backend count after the event.
+	Fleet int
+	// Note carries event detail (reclaimed request count, slow factor).
+	Note string
+}
+
+// Summary is the scenario's served statistics.
+type Summary struct {
+	// MeanLatencyMS, P50LatencyMS and P95LatencyMS are the node-wide
+	// steady-state latency statistics in milliseconds.
+	MeanLatencyMS, P50LatencyMS, P95LatencyMS float64
+	// SLOLatencyMS and SLOViolationFrac report against the scaler's
+	// latency target; both are zero without a scaler.
+	SLOLatencyMS, SLOViolationFrac float64
+	// MeanNPUs is the time-weighted mean routable fleet size over the
+	// scenario span; PeakNPUs is the largest size reached.
+	MeanNPUs float64
+	PeakNPUs int
+}
+
+// Report is one executed scenario's outcome.
+type Report struct {
+	// Name is the scenario's declared name.
+	Name string
+	// Passed is true iff every assertion held.
+	Passed bool
+	// Requests is how many requests the load ramp offered.
+	Requests int
+	// FleetStart is the initial fleet size; SpanMS the full timeline
+	// length the executor advanced through, in milliseconds.
+	FleetStart int
+	SpanMS     float64
+	// Timeline is the fleet history with every scaling action and fired
+	// fault injection, in stream order.
+	Timeline []TimelineEntry
+	// Asserts are the evaluated assertions, in scenario order.
+	Asserts []AssertResult
+	// Summary is the served statistics.
+	Summary Summary
+}
+
+// buildReport derives the report from a finished run.
+func buildReport(run *runResult) *Report {
+	sc := run.sc
+	r := &Report{
+		Name:       sc.Name,
+		Requests:   run.n,
+		FleetStart: sc.Fleet.Initial,
+		SpanMS:     float64(sc.Span().Microseconds()) / 1000,
+		Timeline:   make([]TimelineEntry, len(run.events)),
+	}
+	for i, e := range run.events {
+		r.Timeline[i] = TimelineEntry{
+			AtMS: run.millis(e.Cycle), Kind: e.Kind, NPU: e.NPU,
+			Delta: e.Delta, Fleet: e.Active, Note: e.Note,
+		}
+	}
+	r.Asserts = sc.evaluate(run)
+	r.Passed = true
+	for _, a := range r.Asserts {
+		r.Passed = r.Passed && a.Pass
+	}
+	st := run.stats
+	r.Summary = Summary{
+		MeanLatencyMS: st.MeanLatencyMS,
+		P50LatencyMS:  st.P50LatencyMS,
+		P95LatencyMS:  st.P95LatencyMS,
+		MeanNPUs:      meanFleet(run.events, run.cycles(sc.Span())),
+		PeakNPUs:      peakFleet(run.events),
+	}
+	if st.Scaling != nil {
+		r.Summary.SLOLatencyMS = st.Scaling.SLOLatencyMS
+		r.Summary.SLOViolationFrac = st.Scaling.SLOViolationFrac
+	}
+	return r
+}
+
+// meanFleet integrates the routable-fleet step function over [0, span].
+func meanFleet(events []serving.NodeEvent, span int64) float64 {
+	if len(events) == 0 || span <= 0 {
+		return 0
+	}
+	var area float64
+	prev := events[0]
+	for _, e := range events[1:] {
+		if e.Cycle > span {
+			break
+		}
+		area += float64(prev.Active) * float64(e.Cycle-prev.Cycle)
+		prev = e
+	}
+	area += float64(prev.Active) * float64(span-prev.Cycle)
+	return area / float64(span)
+}
+
+// peakFleet is the largest routable count the timeline reached.
+func peakFleet(events []serving.NodeEvent) int {
+	peak := 0
+	for _, e := range events {
+		if e.Active > peak {
+			peak = e.Active
+		}
+	}
+	return peak
+}
+
+// Render formats the report as the ASCII scenario transcript: verdict,
+// annotated fleet timeline (one '#' per routable NPU), assertion lines
+// and the served summary. The output is deterministic.
+func (r *Report) Render() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Passed {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "scenario %q — %s\n", r.Name, verdict)
+	fmt.Fprintf(&b, "%d requests over %.0fms, fleet started at %d NPUs\n\n",
+		r.Requests, r.SpanMS, r.FleetStart)
+
+	b.WriteString("fleet timeline:\n")
+	for _, e := range r.Timeline {
+		bar := strings.Repeat("#", e.Fleet)
+		label := e.Kind
+		if e.NPU >= 0 {
+			label = fmt.Sprintf("%s npu%d", e.Kind, e.NPU)
+		}
+		if e.Delta != 0 {
+			label = fmt.Sprintf("%s %+d", label, e.Delta)
+		}
+		if e.Note != "" {
+			label = fmt.Sprintf("%s (%s)", label, e.Note)
+		}
+		fmt.Fprintf(&b, "  %9.2fms  %d NPUs %-10s %s\n", e.AtMS, e.Fleet, bar, label)
+	}
+
+	if len(r.Asserts) > 0 {
+		b.WriteString("\nasserts:\n")
+		for _, a := range r.Asserts {
+			mark := "PASS"
+			if !a.Pass {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(&b, "  %s  %s — %s\n", mark, a.Expr, a.Detail)
+		}
+	}
+
+	s := r.Summary
+	fmt.Fprintf(&b, "\nlatency: mean %.2fms  p50 %.2fms  p95 %.2fms\n",
+		s.MeanLatencyMS, s.P50LatencyMS, s.P95LatencyMS)
+	if s.SLOLatencyMS > 0 {
+		fmt.Fprintf(&b, "slo: %.1fms target, %.1f%% of measured requests violated\n",
+			s.SLOLatencyMS, s.SLOViolationFrac*100)
+	}
+	fmt.Fprintf(&b, "fleet: mean %.2f NPUs, peak %d\n", s.MeanNPUs, s.PeakNPUs)
+	return b.String()
+}

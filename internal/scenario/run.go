@@ -1,0 +1,99 @@
+package scenario
+
+// run.go is the scenario executor: it opens a streaming node session
+// with the scenario's fleet and scheduler, arms the fault-injection
+// schedule, offers the load ramp on the deterministic stream clock,
+// advances past the last event and asserted window, drains, and
+// evaluates the assertions into a Report. Everything downstream of the
+// seed is deterministic, so the same scenario text replays
+// byte-identically (Report.Render included) — the property that lets
+// the scenarios/ corpus run as a regression suite.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/serving"
+	"repro/internal/workload"
+)
+
+// runResult bundles what assertion evaluation and report building need
+// from a finished run.
+type runResult struct {
+	sc     *Scenario
+	srv    *serving.Server
+	events []serving.NodeEvent
+	stats  serving.NodeStats
+	n      int // requests offered
+}
+
+func (r *runResult) cycles(d time.Duration) int64 { return r.srv.NPU().Cycles(d) }
+func (r *runResult) millis(c int64) float64       { return r.srv.NPU().Millis(c) }
+
+// Run executes one scenario against the server's hardware and workload
+// configuration. A failed assertion fails the report (Report.Passed),
+// not the run; Run errors only on invalid scenarios or a run the
+// session itself rejects (a wiped-out fleet, a misdirected operation).
+func Run(srv *serving.Server, sc *Scenario) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	var scale *serving.AutoscaleConfig
+	if sc.Scaler != "" {
+		scale = &serving.AutoscaleConfig{
+			Scaler:  sc.Scaler,
+			SLO:     sc.SLO,
+			Tick:    sc.Tick,
+			MinNPUs: sc.Fleet.Min,
+			MaxNPUs: sc.Fleet.Max,
+		}
+	}
+	ns, err := srv.OpenNode(serving.NodeConfig{
+		NPUs:    sc.Fleet.Initial,
+		Routing: sc.Routing,
+		Session: serving.SessionConfig{
+			Policy:         sc.Policy,
+			Preemptive:     sc.Preemptive,
+			Selector:       sc.Selector,
+			Horizon:        sc.Horizon(),
+			WarmupFraction: sc.Warmup,
+		},
+		Autoscale: scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ns.Close()
+
+	for i, e := range sc.Events {
+		if err := ns.Schedule(e.At, e.Op); err != nil {
+			return nil, fmt.Errorf("scenario: event %d: %w", i, err)
+		}
+	}
+
+	seed := sc.Seed
+	if seed == 0 {
+		seed = 0x5E55 // the prema facade's fixed default, so a no-event
+		// scenario is comparable to a plain node session run
+	}
+	n, err := ns.OfferRamp(serving.Spec{
+		Horizon:    sc.Segment,
+		Models:     sc.Models,
+		BatchSizes: []int{1},
+	}, sc.Load, workload.RNGFor(seed, 0))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	// Flush events scheduled past the last arrival (a late failure, a
+	// recovery window an assertion watches) before sealing the stream.
+	if err := ns.AdvanceTo(sc.Span()); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	st, err := ns.Drain()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+
+	run := &runResult{sc: sc, srv: srv, events: ns.Timeline(), stats: st, n: n}
+	return buildReport(run), nil
+}

@@ -82,9 +82,11 @@ func (a AutoscaleConfig) normalize(npus int) (AutoscaleConfig, error) {
 	return a, nil
 }
 
-// ScaleEvent is one applied fleet change.
+// ScaleEvent is one applied fleet change: a scaler action, or an
+// injected failure or cordon/uncordon that altered the routable count
+// (see NodeSession.Timeline for the annotated event view).
 type ScaleEvent struct {
-	// Cycle is the evaluation tick the change was applied at.
+	// Cycle is the stream instant the change was applied at.
 	Cycle int64
 	// Delta is the applied change in active backends (0 only on the
 	// initial timeline anchor).
@@ -127,7 +129,6 @@ type scaling struct {
 	// arrivals, decaying geometrically so a quiet stretch reads as
 	// pressure easing rather than flapping between the last P95 and 0.
 	lastEstP95 float64
-	events     []ScaleEvent
 }
 
 // newScaling validates the configuration and builds the session's
@@ -152,39 +153,33 @@ func (s *Server) newScaling(a AutoscaleConfig, npus int) (*scaling, error) {
 		tickCycles: tick,
 		sloMS:      sloMS,
 		nextTick:   tick,
-		events:     []ScaleEvent{{Cycle: 0, Delta: 0, NPUs: npus}},
 	}, nil
-}
-
-// tickTo fires every evaluation tick due at or before the stream clock
-// now. Ticks are evaluated in order, so the scaler sees the same
-// deterministic sequence however arrivals batch up.
-func (ns *NodeSession) tickTo(now int64) error {
-	if ns.scale == nil {
-		return nil
-	}
-	for ns.scale.nextTick <= now {
-		if err := ns.evaluate(ns.scale.nextTick); err != nil {
-			return err
-		}
-		ns.scale.nextTick += ns.scale.tickCycles
-	}
-	return nil
 }
 
 // evaluate runs one scaler decision at tick cycle at and applies the
 // clamped delta to the fleet.
 func (ns *NodeSession) evaluate(at int64) error {
 	sc := ns.scale
-	var inFlight, busyDraining int
+	var inFlight, occupied int
 	var backlog int64
 	for i := range ns.backends {
+		if ns.state.Failed(i) {
+			// A failed backend is gone: its slot frees immediately, so
+			// the scaler can spin a replacement.
+			continue
+		}
+		if ns.state.Cordoned(i) {
+			// A cordoned backend holds its NPU for its eventual return
+			// to rotation, whether or not work is still draining.
+			occupied++
+			continue
+		}
 		if ns.state.Draining(i) {
 			// A retired backend occupies its NPU only while its routed
 			// work is still completing; an emptied one is gone for both
 			// the metrics snapshot and the MaxNPUs serving cap below.
 			if ns.state.Backlog(i, at) > 0 {
-				busyDraining++
+				occupied++
 			}
 			continue
 		}
@@ -200,7 +195,7 @@ func (ns *NodeSession) evaluate(at int64) error {
 	delta := int(sc.policy.Decide(autoscale.Metrics{
 		Now:             at,
 		Active:          ns.state.Active(),
-		Draining:        busyDraining,
+		Draining:        occupied,
 		Min:             sc.cfg.MinNPUs,
 		Max:             sc.cfg.MaxNPUs,
 		InFlight:        inFlight,
@@ -211,10 +206,10 @@ func (ns *NodeSession) evaluate(at int64) error {
 	sc.estMS = sc.estMS[:0]
 
 	// MaxNPUs caps the hardware concurrently serving, not just the
-	// active set: a draining backend still holding fluid work occupies
-	// its NPU until that work completes, so it counts against the bound
-	// and scale-up resumes only as drains finish.
-	serving := ns.state.Active() + busyDraining
+	// active set: a draining backend still holding fluid work (or a
+	// cordoned one awaiting its return) occupies its NPU, so it counts
+	// against the bound and scale-up resumes only as slots free up.
+	serving := ns.state.Active() + occupied
 	applied := 0
 	for ; delta > 0 && ns.state.Active() < sc.cfg.MaxNPUs && serving < sc.cfg.MaxNPUs; delta-- {
 		b, err := ns.srv.Open(ns.session)
@@ -223,6 +218,7 @@ func (ns *NodeSession) evaluate(at int64) error {
 		}
 		ns.backends = append(ns.backends, b)
 		ns.state.AddNPU()
+		ns.speed = append(ns.speed, 1)
 		serving++
 		applied++
 	}
@@ -237,19 +233,19 @@ func (ns *NodeSession) evaluate(at int64) error {
 		applied--
 	}
 	if applied != 0 {
-		sc.events = append(sc.events, ScaleEvent{Cycle: at, Delta: applied, NPUs: ns.state.Active()})
+		ns.record(at, "scale", -1, applied, "")
 	}
 	return nil
 }
 
-// drainVictim picks the backend a scale-down retires: the active one
+// drainVictim picks the backend a scale-down retires: the routable one
 // with the least fluid backlog at the tick (its drain completes
 // soonest); ties prefer the highest index, so the newest backend goes
 // first.
 func (ns *NodeSession) drainVictim(at int64) int {
 	best, bestBacklog := -1, int64(1<<62)
 	for i := range ns.backends {
-		if ns.state.Draining(i) {
+		if !ns.state.Routable(i) {
 			continue
 		}
 		if b := ns.state.Backlog(i, at); b < bestBacklog || (b == bestBacklog && i > best) {
@@ -259,12 +255,21 @@ func (ns *NodeSession) drainVictim(at int64) int {
 	return best
 }
 
-// scalingStats derives the timeline view from the applied events and
-// the merged measured samples.
+// scalingStats derives the timeline view from the fleet timeline and
+// the merged measured samples. Every fleet-size change appears — the
+// scaler's own actions and any injected failures or cordons — so the
+// step function (and its time-weighted mean) reflects what actually
+// served.
 func (ns *NodeSession) scalingStats(merged sampleSet) *ScalingStats {
 	sc := ns.scale
+	events := make([]ScaleEvent, 0, len(ns.timeline))
+	for i, e := range ns.timeline {
+		if i == 0 || e.Delta != 0 {
+			events = append(events, ScaleEvent{Cycle: e.Cycle, Delta: e.Delta, NPUs: e.Active})
+		}
+	}
 	out := &ScalingStats{
-		Events:       append([]ScaleEvent(nil), sc.events...),
+		Events:       events,
 		SLOLatencyMS: sc.sloMS,
 	}
 	violated := 0

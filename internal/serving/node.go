@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/npu"
 	"repro/internal/workload"
 )
 
@@ -81,6 +82,22 @@ type NodeSession struct {
 	// scale is the attached autoscaler state; nil on fixed fleets.
 	scale *scaling
 
+	// timeline is the fleet history: a start anchor, applied scaling
+	// actions, and fired chaos operations (see chaos.go).
+	timeline []NodeEvent
+	// pending holds scheduled chaos operations sorted by (cycle,
+	// schedule order); opSeq stamps that order.
+	pending []nodeOp
+	opSeq   int
+	// speed is the per-backend service-time multiplier (1 = nominal;
+	// a SlowNPU operation raises it, RestoreNPU resets it).
+	speed []float64
+	// stretchCache shares stretched program copies per (program,
+	// factor); stretchOrig maps a stretched instance back to its
+	// nominal template so failure reclaim can shed the slowdown.
+	stretchCache map[stretchKey]*npu.Program
+	stretchOrig  map[*workload.Task]*workload.Task
+
 	lastArrival int64
 	submitted   int
 	clientNext  int // round-robin cursor for closed-loop client affinity
@@ -116,14 +133,20 @@ func (s *Server) OpenNode(cfg NodeConfig) (*NodeSession, error) {
 			return nil, err
 		}
 	}
-	return &NodeSession{
+	ns := &NodeSession{
 		srv:      s,
 		router:   router,
 		state:    cluster.NewState(cfg.NPUs),
 		backends: backends,
 		session:  cfg.Session,
 		scale:    scale,
-	}, nil
+		speed:    make([]float64, cfg.NPUs),
+	}
+	for i := range ns.speed {
+		ns.speed[i] = 1
+	}
+	ns.record(0, "start", -1, 0, "")
+	return ns, nil
 }
 
 // NPUs reports the node size.
@@ -148,12 +171,28 @@ func (ns *NodeSession) Submit(t *workload.Task) error {
 		return fmt.Errorf("serving: node routing is incremental; submit in nondecreasing arrival order (arrival %d after %d)",
 			t.Arrival, ns.lastArrival)
 	}
-	// Fire every autoscale tick due before this arrival, so the routing
-	// decision sees the post-scaling fleet.
-	if err := ns.tickTo(t.Arrival); err != nil {
+	// Fire every scheduled chaos operation and autoscale tick due before
+	// this arrival, so the routing decision sees the post-event fleet.
+	if err := ns.advanceTo(t.Arrival); err != nil {
 		return err
 	}
+	if err := ns.route(t); err != nil {
+		return err
+	}
+	ns.lastArrival = t.Arrival
+	ns.submitted++
+	return nil
+}
+
+// route makes one routing decision and commits it: the shared path of
+// fresh submissions and failure-reclaimed re-arrivals. A request
+// landing on a slowed backend is stretched to the backend's current
+// speed before it queues.
+func (ns *NodeSession) route(t *workload.Task) error {
 	target := ns.router.Decide(t, ns.state)
+	if ns.speed[target] > 1 {
+		t = ns.stretched(t, ns.speed[target])
+	}
 	if err := ns.backends[target].Submit(t); err != nil {
 		return err
 	}
@@ -164,8 +203,6 @@ func (ns *NodeSession) Submit(t *workload.Task) error {
 		ns.scale.estMS = append(ns.scale.estMS,
 			ns.srv.cfg.Millis(ns.state.FreeAt(target)-t.Arrival))
 	}
-	ns.lastArrival = t.Arrival
-	ns.submitted++
 	return nil
 }
 
@@ -253,6 +290,11 @@ func (ns *NodeSession) OfferClients(spec ClientSpec, rng *rand.Rand) (int, error
 		// scale-down could never drain a pinned backend, so the two modes
 		// are mutually exclusive.
 		return 0, fmt.Errorf("serving: closed-loop clients pin to their NPU; autoscaling requires routed traffic (Submit/Offer)")
+	}
+	if len(ns.pending) > 0 {
+		// The same pinning conflict: a failed or cordoned backend could
+		// never shed its pinned clients.
+		return 0, fmt.Errorf("serving: closed-loop clients pin to their NPU; chaos operations require routed traffic (Submit/Offer)")
 	}
 	if spec.Clients <= 0 {
 		return 0, fmt.Errorf("serving: non-positive client count %d", spec.Clients)

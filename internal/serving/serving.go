@@ -74,6 +74,11 @@ func NewServer(cfg npu.Config, scfg sched.Config, gen *workload.Generator) *Serv
 	return &Server{cfg: cfg, scfg: scfg, gen: gen}
 }
 
+// NPU answers the server's hardware configuration, giving callers that
+// consume cycle-denominated results (node timelines, scaling events) the
+// clock to convert them back to wall time.
+func (s *Server) NPU() npu.Config { return s.cfg }
+
 // meanServiceCycles estimates the mix's mean isolated service time by
 // sampling instances.
 func (s *Server) meanServiceCycles(models []string, batches []int, rng *rand.Rand) (float64, error) {

@@ -17,10 +17,31 @@ go vet ./...
 go build ./...
 go test ./...
 
+# Domain invariants (determinism, facade boundary, write-once
+# registries, must-check errors, no-copy state): the repo must lint
+# clean, and the tripwire itself must still trip — a premalint that
+# stops flagging the seeded-violation fixture is a silent CI hole.
+echo "premalint"
+go run ./cmd/premalint ./...
+if go run ./cmd/premalint ./internal/lint/testdata/broken >/dev/null 2>&1; then
+	echo "premalint: seeded-violation fixture passed the lint — tripwire is broken" >&2
+	exit 1
+fi
+
 # The streaming node-session paths (per-NPU session backends, the
 # shared router, closed-loop injection, autoscaling) are
-# concurrency-sensitive: race-check them on every run.
+# concurrency-sensitive: race-check them on every run. The simulator
+# core and the worker-pool experiment engine (the most
+# concurrency-dense code in the repo) race-check in -short mode — the
+# full experiment sweeps blow past go test's timeout under the race
+# detector, and the engine/cache race coverage lives in the fast tests.
 go test -race ./internal/serving/... ./internal/cluster/... ./internal/autoscale/... ./internal/scenario/...
+go test -race -short ./internal/sim/... ./internal/exp/...
+
+# Coverage-guided smoke: exercise the simulator fuzz target's seed
+# corpus plus a short fuzz burst, so invariant regressions surface on
+# every run, not only when someone remembers to fuzz.
+go test -fuzz=FuzzSimInvariants -fuzztime=5s -run '^$' ./internal/sim/
 
 # The examples are the public-API consumers: every one must build and
 # run to completion against the current facade.

@@ -191,7 +191,7 @@ func runAutoscale(sys *prema.System, cfg prema.NodeSessionConfig, horizon time.D
 	if err != nil {
 		fatal(err)
 	}
-	defer ns.Close()
+	defer ns.Close() //premalint:ignore errdrop teardown after Drain already surfaced the session's stats; Close failures have nothing left to corrupt
 	n, err := ns.OfferRamp(ramp, segment)
 	if err != nil {
 		fatal(err)
@@ -231,7 +231,7 @@ func runClosedLoop(sys *prema.System, cfg prema.NodeSessionConfig,
 	if err != nil {
 		fatal(err)
 	}
-	defer ns.Close()
+	defer ns.Close() //premalint:ignore errdrop teardown after Drain already surfaced the session's stats; Close failures have nothing left to corrupt
 	n, err := ns.OfferClients(clients, think, horizon)
 	if err != nil {
 		fatal(err)

@@ -59,7 +59,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer ns.Close()
+		defer ns.Close() //premalint:ignore errdrop example teardown after Drain; failing the demo on a cleanup error would obscure the output
 		if _, err := ns.OfferRamp(ramp, segment); err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// pos resolves a node's position through the loader-wide file set.
+func (p *Package) pos(n ast.Node) token.Position { return p.Fset.Position(n.Pos()) }
+
+// importTable maps the local names of a file's imports to their import
+// paths ("rnd" -> "math/rand/v2"), the syntactic fallback used when
+// type information is unavailable.
+func importTable(f *ast.File) map[string]string {
+	t := map[string]string{}
+	for _, spec := range f.Imports {
+		path, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		// math/rand/v2-style major-version suffixes import under the
+		// penultimate element.
+		if strings.HasPrefix(name, "v") && len(name) > 1 && name[1] >= '0' && name[1] <= '9' {
+			if i := strings.LastIndexByte(path[:len(path)-len(name)-1], '/'); i >= 0 {
+				name = path[i+1 : len(path)-len(name)-1]
+			}
+		}
+		if spec.Name != nil {
+			name = spec.Name.Name
+		}
+		t[name] = path
+	}
+	return t
+}
+
+// pkgFunc resolves a call of the form pkg.Fn(...) to the imported
+// package's path and the function name. It prefers type information
+// (which sees through renames and shadowing); when the checker could
+// not resolve the identifier — a fixture with missing imports, a tree
+// mid-refactor — it falls back to the file's import table. Method
+// calls (receiver present) resolve to ok == false: they are values'
+// methods, not package functions.
+func (p *Package) pkgFunc(f *ast.File, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok2 := call.Fun.(*ast.SelectorExpr)
+	if !ok2 {
+		return "", "", false
+	}
+	if obj, ok2 := p.Info.Uses[sel.Sel].(*types.Func); ok2 {
+		sig, _ := obj.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			return "", "", false
+		}
+		if obj.Pkg() == nil {
+			return "", "", false
+		}
+		return obj.Pkg().Path(), obj.Name(), true
+	}
+	// Fallback: X must be a bare identifier naming an import.
+	id, ok2 := sel.X.(*ast.Ident)
+	if !ok2 {
+		return "", "", false
+	}
+	// If the checker resolved the identifier to anything other than a
+	// package name, this is a field or method access, not pkg.Fn.
+	if obj, resolved := p.Info.Uses[id]; resolved {
+		if _, isPkg := obj.(*types.PkgName); !isPkg {
+			return "", "", false
+		}
+	}
+	path, found := importTable(f)[id.Name]
+	if !found {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// receiverType resolves a method call x.M(...) to the receiver's named
+// type key "pkgpath.TypeName" (pointers dereferenced) and the method
+// name. ok is false for anything that is not a resolvable method call.
+func (p *Package) receiverType(call *ast.CallExpr) (typeKey, method string, ok bool) {
+	sel, ok2 := call.Fun.(*ast.SelectorExpr)
+	if !ok2 {
+		return "", "", false
+	}
+	obj, ok2 := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok2 {
+		return "", "", false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	key := namedTypeKey(sig.Recv().Type())
+	if key == "" {
+		return "", "", false
+	}
+	return key, obj.Name(), true
+}
+
+// namedTypeKey renders a (possibly pointer-wrapped) named type as
+// "pkgpath.TypeName", or "" for unnamed types.
+func namedTypeKey(t types.Type) string {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// rootIdent walks selector/index expressions down to the base
+// identifier: s.cache.entries[k] -> s.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// hasPathSegment reports whether the import path contains seg as a
+// whole path element.
+func hasPathSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsIdent reports whether the expression subtree contains an
+// identifier with the given name.
+func mentionsIdent(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

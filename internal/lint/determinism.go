@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// determinismScope lists the packages whose outputs must replay
+// byte-identically: the simulator, schedulers, routing state, serving
+// sessions, autoscalers, scenario engine, workload generation and the
+// experiment layer. Wall clocks and global RNGs anywhere in these
+// packages (or their subpackages) would corrupt replay determinism.
+// Fixture packages under a testdata directory are always in scope so
+// the analyzer can be exercised by golden tests and seeded-violation
+// fixtures.
+var determinismScope = []string{
+	"repro/internal/sim",
+	"repro/internal/sched",
+	"repro/internal/cluster",
+	"repro/internal/serving",
+	"repro/internal/autoscale",
+	"repro/internal/scenario",
+	"repro/internal/workload",
+	"repro/internal/exp",
+}
+
+func determinismInScope(path string) bool {
+	for _, s := range determinismScope {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return strings.Contains(path, "/testdata/")
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded generators — the sanctioned way to get randomness in
+// simulation code (always from a caller-provided seed).
+var randConstructors = map[string]bool{
+	"New": true, "NewPCG": true, "NewChaCha8": true,
+	"NewZipf": true, "NewSource": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+var determinismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "no wall clock, global RNG, or map-iteration-order leak in " +
+		"the determinism-critical simulation packages",
+	Run: runDeterminism,
+}
+
+func runDeterminism(p *Package) []Finding {
+	if !determinismInScope(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		file := f
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					out = append(out, checkDeterministicCall(p, file, x)...)
+				case *ast.RangeStmt:
+					out = append(out, checkMapRange(p, fd, x)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkDeterministicCall flags wall-clock reads, global math/rand
+// calls, and RNG constructors seeded from non-deterministic state.
+func checkDeterministicCall(p *Package, f *ast.File, call *ast.CallExpr) []Finding {
+	pkg, name, ok := p.pkgFunc(f, call)
+	if !ok {
+		return nil
+	}
+	switch {
+	case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		return []Finding{{
+			Pos:      p.pos(call),
+			Analyzer: "determinism",
+			Message: fmt.Sprintf("time.%s reads the wall clock; simulation paths must "+
+				"derive time from the simulated clock (cycles / stream clock)", name),
+		}}
+	case isRandPkg(pkg) && !randConstructors[name]:
+		return []Finding{{
+			Pos:      p.pos(call),
+			Analyzer: "determinism",
+			Message: fmt.Sprintf("global rand.%s uses the process-wide RNG; thread an "+
+				"explicitly seeded *rand.Rand (e.g. stats.NewRNG / workload.RNGFor) instead", name),
+		}}
+	case isRandPkg(pkg) && randConstructors[name]:
+		if bad := nondeterministicSeed(p, f, call); bad != "" {
+			return []Finding{{
+				Pos:      p.pos(call),
+				Analyzer: "determinism",
+				Message: fmt.Sprintf("rand.%s seeded from %s; seeds must come from "+
+					"configuration so runs replay identically", name, bad),
+			}}
+		}
+	}
+	return nil
+}
+
+// nondeterministicSeed reports what non-deterministic source (if any)
+// feeds a rand constructor's arguments: wall clock, process identity,
+// or crypto randomness.
+func nondeterministicSeed(p *Package, f *ast.File, ctor *ast.CallExpr) string {
+	bad := ""
+	for _, arg := range ctor.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || bad != "" {
+				return bad == ""
+			}
+			pkg, name, ok := p.pkgFunc(f, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time":
+				bad = "the wall clock (time." + name + ")"
+			case pkg == "os" && (name == "Getpid" || name == "Getppid"):
+				bad = "process identity (os." + name + ")"
+			case pkg == "crypto/rand":
+				bad = "crypto/rand"
+			}
+			return bad == ""
+		})
+		if bad != "" {
+			return bad
+		}
+	}
+	return bad
+}
+
+// checkMapRange flags `range` over a map whose body lets the
+// unspecified iteration order escape: appending to a slice (unless the
+// slice is visibly sorted later in the same function), writing output,
+// or accumulating floats (float addition is not associative, so the
+// sum depends on visit order).
+func checkMapRange(p *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) []Finding {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return nil
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+
+	var out []Finding
+	var appendTargets []*ast.Ident
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			switch x.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if lt := p.Info.TypeOf(x.Lhs[0]); lt != nil && isFloat(lt) {
+					out = append(out, Finding{
+						Pos:      p.pos(x),
+						Analyzer: "determinism",
+						Message: "float accumulation inside map range: float addition is " +
+							"order-dependent and map iteration order is unspecified; iterate " +
+							"sorted keys or accumulate into a slice and sum in fixed order",
+					})
+				}
+			default:
+				for i, rhs := range x.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isAppendCall(call) {
+						continue
+					}
+					var id *ast.Ident
+					if i < len(x.Lhs) {
+						id = rootIdent(x.Lhs[i])
+					}
+					appendTargets = append(appendTargets, id)
+				}
+			}
+		case *ast.CallExpr:
+			if isOutputWrite(p, x) {
+				out = append(out, Finding{
+					Pos:      p.pos(x),
+					Analyzer: "determinism",
+					Message: "output written inside map range: map iteration order is " +
+						"unspecified, so emitted order varies run to run; iterate sorted keys",
+				})
+			}
+		}
+		return true
+	})
+
+	for _, id := range appendTargets {
+		if id != nil && sortedAfter(p, fd, rs, id.Name) {
+			continue
+		}
+		target := "the slice"
+		pos := p.pos(rs)
+		if id != nil {
+			target = fmt.Sprintf("%q", id.Name)
+			pos = p.pos(id)
+		}
+		out = append(out, Finding{
+			Pos:      pos,
+			Analyzer: "determinism",
+			Message: fmt.Sprintf("map iteration order leaks into %s (append inside map "+
+				"range with no later sort in this function); sort the result or iterate "+
+				"sorted keys", target),
+		})
+	}
+	return out
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isAppendCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// isOutputWrite recognizes fmt print calls and Write*/Print* method
+// calls — the ways map-ordered data typically escapes into output.
+func isOutputWrite(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if obj, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}
+	if _, method, ok := p.receiverType(call); ok {
+		return strings.HasPrefix(method, "Write") || strings.HasPrefix(method, "Print")
+	}
+	return false
+}
+
+// sortedAfter reports whether, later in the same function, the named
+// slice is passed to a sort/slices call — the collect-keys-then-sort
+// idiom, which is deterministic and therefore exempt.
+func sortedAfter(p *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, name string) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsIdent(arg, name) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

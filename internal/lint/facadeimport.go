@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// facadeImportAnalyzer enforces the PR-3 API boundary: binaries under
+// cmd/ and the runnable documentation under examples/ are the facade's
+// consumers, so they may import the public repro package but never
+// reach into repro/internal/... directly. The boundary is what lets
+// internal packages refactor freely (the compiler enforces it for
+// external modules; this analyzer enforces it for our own commands).
+var facadeImportAnalyzer = &Analyzer{
+	Name: "facadeimport",
+	Doc:  "cmd/ and examples/ consume only the repro facade, never repro/internal/...",
+	Run:  runFacadeImport,
+}
+
+func runFacadeImport(p *Package) []Finding {
+	if !hasPathSegment(p.Path, "cmd") && !hasPathSegment(p.Path, "examples") {
+		return nil
+	}
+	// The module's own path is the import prefix internal packages hang
+	// off; deriving it from the package path keeps the rule valid under
+	// a module rename.
+	module := p.Path
+	if i := strings.IndexByte(module, '/'); i >= 0 {
+		module = module[:i]
+	}
+	banned := module + "/internal/"
+
+	var out []Finding
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if strings.HasPrefix(path, banned) || path == module+"/internal" {
+				out = append(out, Finding{
+					Pos:      p.pos(spec),
+					Analyzer: "facadeimport",
+					Message: fmt.Sprintf("%s imports %s; commands and examples must "+
+						"consume the %s facade only — export what you need through it",
+						p.Path, path, module),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the comment form that suppresses a finding:
+//
+//	//premalint:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The
+// reason is mandatory: a suppression without a recorded justification
+// is itself reported as a finding.
+const ignorePrefix = "//premalint:ignore"
+
+// directive is one parsed ignore comment.
+type directive struct {
+	analyzer string
+}
+
+// directiveSet indexes a package's ignore directives by file and line.
+type directiveSet struct {
+	// byLine maps file name -> line -> directives on that line.
+	byLine map[string]map[int][]directive
+	// problems reports malformed directives (missing analyzer/reason)
+	// and directives naming analyzers that do not exist.
+	problems []Finding
+}
+
+// directivesFor scans every comment in the package for ignore
+// directives.
+func directivesFor(p *Package) *directiveSet {
+	ds := &directiveSet{byLine: map[string]map[int][]directive{}}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					ds.problem(pos, "ignore directive names no analyzer (want //premalint:ignore <analyzer> <reason>)")
+					continue
+				case len(fields) == 1:
+					ds.problem(pos, "ignore directive for %q gives no reason (want //premalint:ignore <analyzer> <reason>)", fields[0])
+					continue
+				}
+				name := fields[0]
+				if byName(name) == nil {
+					ds.problem(pos, "ignore directive names unknown analyzer %q", name)
+					continue
+				}
+				lines := ds.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]directive{}
+					ds.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], directive{analyzer: name})
+			}
+		}
+	}
+	return ds
+}
+
+func (ds *directiveSet) problem(pos token.Position, format string, args ...any) {
+	ds.problems = append(ds.problems, Finding{
+		Pos:      pos,
+		Analyzer: "premalint",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a directive for the finding's analyzer
+// sits on the finding's line or the line directly above it.
+func (ds *directiveSet) suppressed(f Finding) bool {
+	lines := ds.byLine[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.analyzer == f.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOnly builds a syntax-only Package (no type checking), which is
+// all the directive scanner needs.
+func parseOnly(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "repro/internal/lint/fake", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestDirectiveProblems(t *testing.T) {
+	cases := []struct {
+		name, comment, wantSub string
+	}{
+		{"no analyzer", "//premalint:ignore", "names no analyzer"},
+		{"no reason", "//premalint:ignore determinism", "gives no reason"},
+		{"unknown analyzer", "//premalint:ignore nosuch because reasons", "unknown analyzer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := parseOnly(t, "package fake\n\n"+tc.comment+"\nvar x int\n")
+			ds := directivesFor(p)
+			if len(ds.problems) != 1 {
+				t.Fatalf("want 1 problem, got %v", ds.problems)
+			}
+			pr := ds.problems[0]
+			if pr.Analyzer != "premalint" || !strings.Contains(pr.Message, tc.wantSub) {
+				t.Errorf("problem %s does not contain %q", pr, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestSuppressionWindow(t *testing.T) {
+	src := `package fake
+
+//premalint:ignore errdrop session teardown, error is noise
+var a int
+var b int
+`
+	p := parseOnly(t, src)
+	ds := directivesFor(p)
+	if len(ds.problems) != 0 {
+		t.Fatalf("unexpected directive problems: %v", ds.problems)
+	}
+	mk := func(line int, analyzer string) Finding {
+		return Finding{
+			Pos:      token.Position{Filename: "fix.go", Line: line},
+			Analyzer: analyzer,
+		}
+	}
+	if !ds.suppressed(mk(3, "errdrop")) {
+		t.Error("finding on the directive line should be suppressed")
+	}
+	if !ds.suppressed(mk(4, "errdrop")) {
+		t.Error("finding directly below the directive should be suppressed")
+	}
+	if ds.suppressed(mk(5, "errdrop")) {
+		t.Error("finding two lines below the directive must not be suppressed")
+	}
+	if ds.suppressed(mk(4, "determinism")) {
+		t.Error("directive must only suppress its named analyzer")
+	}
+}

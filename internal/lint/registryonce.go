@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+)
+
+// registryOnceAnalyzer enforces the write-once discipline on the
+// plugin registries (RegisterPolicy / RegisterSelector /
+// RegisterEstimator / RegisterScaler and the internal registries they
+// forward to): registration mutates process-global state, so it is
+// only safe before any simulation runs. Permitted contexts are init
+// functions (including package-level var initializers, which run at
+// the same time), TestMain, _test.go files (excluded from loading
+// anyway), and the bodies of Register*/mustRegister* forwarding
+// wrappers — the registration API itself.
+var registryOnceAnalyzer = &Analyzer{
+	Name: "registryonce",
+	Doc:  "Register* calls only from init funcs, TestMain, or registration wrappers",
+	Run:  runRegistryOnce,
+}
+
+var registerCallRx = regexp.MustCompile(`^(must|Must)?Register`)
+
+func runRegistryOnce(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if allowedRegistrarContext(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				if name == "" || !registerCallRx.MatchString(name) {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:      p.pos(call),
+					Analyzer: "registryonce",
+					Message: fmt.Sprintf("%s called from %s: registries are write-once "+
+						"global state, touch them only from init, TestMain, or a "+
+						"Register* wrapper", name, fd.Name.Name),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// allowedRegistrarContext reports whether a function may legitimately
+// register: init (no receiver), TestMain, or a registration wrapper
+// itself.
+func allowedRegistrarContext(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if fd.Recv == nil && (name == "init" || name == "TestMain") {
+		return true
+	}
+	return registerCallRx.MatchString(name)
+}
+
+// calleeName extracts the called function's bare name from a call
+// expression: Register(...), pkg.RegisterPolicy(...), r.Register(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// stateCopyBanned lists named struct types that must never travel by
+// value: cluster.State's slices alias live fluid-routing storage (a
+// copy shares backing arrays with the original until the first
+// append, after which the two silently diverge), and
+// serving.sampleSet carries latency-sample slices with the same
+// hazard. Mutex-holding structs are detected structurally and need no
+// listing.
+var stateCopyBanned = map[string]bool{
+	"repro/internal/cluster.State":     true,
+	"repro/internal/serving.sampleSet": true,
+}
+
+var stateCopyAnalyzer = &Analyzer{
+	Name: "statecopy",
+	Doc:  "cluster.State, sampleSet and mutex-holding structs are passed by pointer, never copied",
+	Run:  runStateCopy,
+}
+
+func runStateCopy(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Recv != nil {
+					out = append(out, checkFieldList(p, x.Recv, "receiver")...)
+				}
+			case *ast.FuncType:
+				out = append(out, checkFieldList(p, x.Params, "parameter")...)
+			case *ast.RangeStmt:
+				out = append(out, checkRangeCopy(p, x)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkFieldList flags by-value parameters/receivers of no-copy types.
+func checkFieldList(p *Package, fields *ast.FieldList, what string) []Finding {
+	if fields == nil {
+		return nil
+	}
+	var out []Finding
+	for _, field := range fields.List {
+		typeExpr := field.Type
+		if el, ok := typeExpr.(*ast.Ellipsis); ok {
+			typeExpr = el.Elt
+		}
+		t := p.Info.TypeOf(typeExpr)
+		if t == nil {
+			continue
+		}
+		if reason := noCopyReason(t); reason != "" {
+			name := types.TypeString(t, nil)
+			if key := namedTypeKey(t); key != "" {
+				name = shortType(key)
+			}
+			out = append(out, Finding{
+				Pos:      p.pos(field),
+				Analyzer: "statecopy",
+				Message: fmt.Sprintf("%s copies %s by value (%s); pass *%s",
+					what, name, reason, name),
+			})
+		}
+	}
+	return out
+}
+
+// checkRangeCopy flags range clauses whose value variable copies a
+// no-copy struct per iteration (`for _, st := range states`).
+func checkRangeCopy(p *Package, rs *ast.RangeStmt) []Finding {
+	if rs.Value == nil {
+		return nil
+	}
+	t := p.Info.TypeOf(rs.Value)
+	if t == nil {
+		return nil
+	}
+	reason := noCopyReason(t)
+	if reason == "" {
+		return nil
+	}
+	name := types.TypeString(t, nil)
+	if key := namedTypeKey(t); key != "" {
+		name = shortType(key)
+	}
+	return []Finding{{
+		Pos:      p.pos(rs.Value),
+		Analyzer: "statecopy",
+		Message: fmt.Sprintf("range value copies %s per iteration (%s); range over "+
+			"indices or store pointers", name, reason),
+	}}
+}
+
+// noCopyReason reports why a (non-pointer) type must not be copied, or
+// "" if copying is fine: either it is explicitly banned, or its struct
+// representation holds a synchronization primitive.
+func noCopyReason(t types.Type) string {
+	t = types.Unalias(t)
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return ""
+	}
+	if key := namedTypeKey(t); key != "" && stateCopyBanned[key] {
+		return "aliases live slice-backed state"
+	}
+	if holdsLock(t, map[types.Type]bool{}) {
+		return "holds a sync primitive"
+	}
+	return ""
+}
+
+// syncNoCopy are the sync types whose values must not be duplicated
+// after first use.
+var syncNoCopy = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// holdsLock reports whether t is, or transitively contains as a struct
+// field, one of the sync no-copy types. The seen map guards against
+// recursive types.
+func holdsLock(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncNoCopy[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return holdsLock(u.Elem(), seen)
+	}
+	return false
+}

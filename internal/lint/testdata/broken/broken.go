@@ -1,0 +1,11 @@
+// Package broken is the seeded-violation fixture: ci.sh runs
+// premalint over this directory and requires a non-zero exit, proving
+// the tripwire actually trips.
+package broken
+
+import "time"
+
+// Clock violates the determinism invariant on purpose.
+func Clock() int64 {
+	return time.Now().UnixNano()
+}

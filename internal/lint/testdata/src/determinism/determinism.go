@@ -1,0 +1,92 @@
+// Package determfix seeds the determinism analyzer's golden cases:
+// wall-clock reads, global RNG use, non-deterministic seeding, and
+// map-iteration-order leaks, each paired with the sanctioned pattern
+// or a justified suppression.
+package determfix
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+// wallClock trips the wall-clock rule.
+func wallClock() int64 {
+	now := time.Now() // want determinism: wall clock
+	return now.UnixNano()
+}
+
+// elapsed trips it through time.Since, which reads the clock too.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want determinism: wall clock
+}
+
+// suppressedClock documents an intentional wall-clock read.
+func suppressedClock() int64 {
+	//premalint:ignore determinism fixture: operator-facing log timestamp, never enters simulation state
+	return time.Now().UnixNano()
+}
+
+// globalRand trips the process-wide RNG rule.
+func globalRand() int {
+	return rand.IntN(10) // want determinism: global rand.IntN
+}
+
+// seededOK builds the sanctioned explicitly seeded generator.
+func seededOK(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 1))
+}
+
+// clockSeeded trips the seeding rule: the seed derives from the clock.
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewPCG( // want determinism: seeded from the wall clock
+		uint64(time.Now().UnixNano()), 1)) // want determinism: wall clock
+}
+
+// leakAppend leaks map iteration order into the returned slice.
+func leakAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want determinism: map iteration order leaks into "out"
+	}
+	return out
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom: exempt because
+// the slice is visibly sorted later in the same function.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printLeak writes output in map order.
+func printLeak(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want determinism: output written inside map range
+	}
+}
+
+// floatLeak accumulates floats in map order; float addition is not
+// associative, so the sum depends on the visit order.
+func floatLeak(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want determinism: float accumulation inside map range
+	}
+	return sum
+}
+
+// suppressedFloat documents an order-free accumulation.
+func suppressedFloat(m map[string]float64) float64 {
+	var n float64
+	for range m {
+		//premalint:ignore determinism fixture: increments of a constant, order cannot matter
+		n += 1.0
+	}
+	return n
+}

@@ -1,0 +1,40 @@
+// Package errfix seeds the errdrop analyzer's golden cases against
+// the real must-check APIs: discarded checkpoint and session errors
+// (flagged), handled and explicitly acknowledged errors (clean), and
+// a justified suppression.
+package errfix
+
+import (
+	"repro/internal/ckptmem"
+	"repro/internal/serving"
+)
+
+// drop trips the rule: the checkpoint save error vanishes, which is
+// exactly the bug class PR 2 fixed by hand.
+func drop(m *ckptmem.Manager) {
+	m.Save(1, 64, 100) // want errdrop: discarded error from ckptmem.Manager.Save
+}
+
+// deferredDrop trips it through defer, which discards results too.
+func deferredDrop(ss *serving.Session) {
+	defer ss.Close() // want errdrop: discarded error from serving.Session.Close
+	_ = ss
+}
+
+// handled consumes the error: clean.
+func handled(m *ckptmem.Manager) error {
+	_, err := m.Restore(1)
+	return err
+}
+
+// acknowledged discards explicitly with blank assignment: clean, and
+// greppable.
+func acknowledged(ss *serving.Session) {
+	_, _ = ss.Drain()
+}
+
+// suppressed documents a sanctioned drop.
+func suppressed(ss *serving.Session) {
+	//premalint:ignore errdrop fixture: session already failed, Close error is noise on this path
+	ss.Close()
+}

@@ -1,0 +1,17 @@
+// Command app seeds the facadeimport analyzer's golden cases: a cmd/
+// package reaching into repro/internal/... directly, plus a justified
+// suppression.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster" // want facadeimport: must consume the repro facade
+	//premalint:ignore facadeimport fixture: documents the suppression path for sanctioned tooling imports
+	"repro/internal/workload"
+)
+
+func main() {
+	st := cluster.NewState(2)
+	fmt.Println(st.NPUs(), workload.Spec{})
+}

@@ -1,0 +1,43 @@
+// Package regfix seeds the registryonce analyzer's golden cases: a
+// write-once registry touched from init (sanctioned), from runtime
+// code (flagged), and under a justified suppression.
+package regfix
+
+import "fmt"
+
+// registry is a stand-in write-once registry.
+var registry = map[string]func(){}
+
+// Register is the registration API — a permitted wrapper context.
+func Register(name string, f func()) error {
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("duplicate %q", name)
+	}
+	registry[name] = f
+	return nil
+}
+
+// mustRegister panics on duplicates; as a Register* wrapper it is a
+// permitted context too.
+func mustRegister(name string, f func()) {
+	if err := Register(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// init-time registration is the sanctioned pattern.
+func init() {
+	mustRegister("fcfs", func() {})
+}
+
+// lateRegister trips the rule: registration from runtime code would
+// race with running simulations.
+func lateRegister(name string) {
+	mustRegister(name, func() {}) // want registryonce: registries are write-once
+}
+
+// suppressedRegister documents a sanctioned dynamic registration.
+func suppressedRegister(name string) {
+	//premalint:ignore registryonce fixture: plugin loading completes before any simulation starts
+	mustRegister(name, func() {})
+}

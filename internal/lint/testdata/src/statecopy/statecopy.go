@@ -1,0 +1,52 @@
+// Package statefix seeds the statecopy analyzer's golden cases:
+// by-value cluster.State and mutex-holding structs (flagged), pointer
+// passing (clean), range-value copies (flagged), and a justified
+// suppression.
+package statefix
+
+import (
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// counter guards its map with a mutex: a no-copy struct.
+type counter struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+// lock touches the mutex so it is not dead weight in the fixture.
+func (c *counter) lock() { c.mu.Lock() }
+
+// byValueState trips the rule: the fluid state's slices alias live
+// routing storage.
+func byValueState(st cluster.State) int { // want statecopy: copies cluster.State by value
+	return st.NPUs()
+}
+
+// byPointerState is the sanctioned form.
+func byPointerState(st *cluster.State) int {
+	return st.NPUs()
+}
+
+// byValueCounter trips the structural mutex rule.
+func byValueCounter(c counter) int { // want statecopy: holds a sync primitive
+	return len(c.n)
+}
+
+// rangeCopies trips the range-value rule.
+func rangeCopies(states []cluster.State) int {
+	total := 0
+	for _, st := range states { // want statecopy: range value copies cluster.State
+		total += st.NPUs()
+	}
+	return total
+}
+
+// suppressedCopy documents an intentional copy of an idle state.
+//
+//premalint:ignore statecopy fixture: zero-value state, no live slices to alias
+func suppressedCopy(st cluster.State) int {
+	return st.NPUs()
+}

@@ -34,7 +34,7 @@ func (r *runResult) millis(c int64) float64       { return r.srv.NPU().Millis(c)
 // configuration. A failed assertion fails the report (Report.Passed),
 // not the run; Run errors only on invalid scenarios or a run the
 // session itself rejects (a wiped-out fleet, a misdirected operation).
-func Run(srv *serving.Server, sc *Scenario) (*Report, error) {
+func Run(srv *serving.Server, sc *Scenario) (rep *Report, rerr error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,7 +63,15 @@ func Run(srv *serving.Server, sc *Scenario) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer ns.Close()
+	// Close's error joins the report's: a teardown failure after a clean
+	// run still means the run's state was not what the caller believes
+	// (the exact error-swallowing class premalint's errdrop rule exists
+	// to catch).
+	defer func() {
+		if cerr := ns.Close(); cerr != nil && rerr == nil {
+			rep, rerr = nil, fmt.Errorf("scenario: closing node session: %w", cerr)
+		}
+	}()
 
 	for i, e := range sc.Events {
 		if err := ns.Schedule(e.At, e.Op); err != nil {

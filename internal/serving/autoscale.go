@@ -260,7 +260,7 @@ func (ns *NodeSession) drainVictim(at int64) int {
 // scaler's own actions and any injected failures or cordons — so the
 // step function (and its time-weighted mean) reflects what actually
 // served.
-func (ns *NodeSession) scalingStats(merged sampleSet) *ScalingStats {
+func (ns *NodeSession) scalingStats(merged *sampleSet) *ScalingStats {
 	sc := ns.scale
 	events := make([]ScaleEvent, 0, len(ns.timeline))
 	for i, e := range ns.timeline {

@@ -174,8 +174,8 @@ func groupRequests(requests []*workload.Task, windowCycles int64, maxBatch int,
 // request's arrival to its fused task's completion, and normalized
 // turnaround uses the request's batch-1 isolated time. Requests arriving
 // before cut are excluded from the measured samples.
-func (s *Server) collectMembers(res *sim.Result, members map[int][]memberRequest, cut int64) sampleSet {
-	sm := sampleSet{dispatched: len(res.Tasks), makespan: res.Cycles}
+func (s *Server) collectMembers(res *sim.Result, members map[int][]memberRequest, cut int64) *sampleSet {
+	sm := &sampleSet{dispatched: len(res.Tasks), makespan: res.Cycles}
 	for _, task := range res.Tasks {
 		ms := members[task.ID]
 		sm.requests += len(ms)

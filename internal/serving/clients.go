@@ -173,7 +173,7 @@ func (ss *Session) OfferClients(spec ClientSpec, rng *rand.Rand) (int, error) {
 	// nothing. (cut() reads the committed stream, so append first.)
 	ss.reqs = append(ss.reqs, realized...)
 	ss.simulations++
-	ss.samples = ss.srv.collectTasks(res, ss.cut())
+	ss.samples = *ss.srv.collectTasks(res, ss.cut())
 	ss.dirty = false
 	ss.statsValid = false
 	return len(realized), nil

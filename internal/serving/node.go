@@ -355,7 +355,7 @@ func (ns *NodeSession) Stats() (NodeStats, error) {
 		if err := b.refresh(); err != nil {
 			return NodeStats{}, fmt.Errorf("serving: NPU %d: %w", i, err)
 		}
-		merged.merge(b.samples)
+		merged.merge(&b.samples)
 		// The backend memoizes its derived statistics; only re-simulated
 		// NPUs re-derive them.
 		if st, err := b.Stats(); err == nil {
@@ -367,13 +367,13 @@ func (ns *NodeSession) Stats() (NodeStats, error) {
 			out.PerNPU[i].Dispatched = b.samples.dispatched
 		}
 	}
-	agg, err := ns.srv.statsOf(merged)
+	agg, err := ns.srv.statsOf(&merged)
 	if err != nil {
 		return NodeStats{}, err
 	}
 	out.BatchStats = agg
 	if ns.scale != nil {
-		out.Scaling = ns.scalingStats(merged)
+		out.Scaling = ns.scalingStats(&merged)
 	}
 	ns.last = out
 	ns.statsAt = ns.submitted

@@ -222,7 +222,7 @@ type sampleSet struct {
 // merge folds other sample sets into one node-level set. Latency samples
 // concatenate in argument order (percentiles sort internally, so order
 // only pins determinism); the node's makespan is the slowest NPU's.
-func (m *sampleSet) merge(parts ...sampleSet) {
+func (m *sampleSet) merge(parts ...*sampleSet) {
 	for _, p := range parts {
 		m.requests += p.requests
 		m.dispatched += p.dispatched
@@ -239,8 +239,8 @@ func (m *sampleSet) merge(parts ...sampleSet) {
 
 // collectTasks builds the sample set of an unbatched run: one request
 // per completed task, excluding arrivals before cut.
-func (s *Server) collectTasks(res *sim.Result, cut int64) sampleSet {
-	sm := sampleSet{
+func (s *Server) collectTasks(res *sim.Result, cut int64) *sampleSet {
+	sm := &sampleSet{
 		requests:   len(res.Tasks),
 		dispatched: len(res.Tasks),
 		makespan:   res.Cycles,
@@ -273,7 +273,7 @@ func guardPercentile(p, fallback float64) float64 {
 // statsOf derives the steady-state statistics from a sample set. It is
 // the single aggregation point shared by the batch entry points, the
 // session memo, and the node session's per-NPU and merged views.
-func (s *Server) statsOf(sm sampleSet) (BatchStats, error) {
+func (s *Server) statsOf(sm *sampleSet) (BatchStats, error) {
 	out := BatchStats{Stats: Stats{Requests: sm.requests}, Dispatched: sm.dispatched}
 	out.Measured = len(sm.latencies)
 	if out.Measured == 0 {

@@ -137,7 +137,7 @@ func TestStatsSmallSamplePath(t *testing.T) {
 	// One measured sample: every percentile equals it.
 	one := sampleSet{requests: 3, dispatched: 3, latencies: []float64{7.5},
 		ntts: []float64{2.0}, makespan: 1 << 20}
-	st, err := s.statsOf(one)
+	st, err := s.statsOf(&one)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestStatsSmallSamplePath(t *testing.T) {
 	}
 
 	// No measured samples: an error, never NaN-laden statistics.
-	if _, err := s.statsOf(sampleSet{requests: 2, dispatched: 2}); err == nil {
+	if _, err := s.statsOf(&sampleSet{requests: 2, dispatched: 2}); err == nil {
 		t.Error("empty measured set should error")
 	}
 
@@ -207,5 +207,34 @@ func TestSteadyStatsTinyWarmupSurvivors(t *testing.T) {
 	if st.P50LatencyMS > st.P95LatencyMS || st.P95LatencyMS > st.P99LatencyMS {
 		t.Errorf("percentiles out of order: p50=%v p95=%v p99=%v",
 			st.P50LatencyMS, st.P95LatencyMS, st.P99LatencyMS)
+	}
+}
+
+// TestStatsOfLeavesSamplesIntact locks in the no-aliasing contract
+// behind the statecopy lint rule: sampleSet travels by pointer, so a
+// callee that reordered or grew the latency slices in place would
+// corrupt the caller's memoized samples (the session memo derives
+// statistics from the same set repeatedly). statsOf must treat the set
+// as read-only.
+func TestStatsOfLeavesSamplesIntact(t *testing.T) {
+	s := newServer(t)
+	sm := sampleSet{
+		requests: 4, dispatched: 4,
+		latencies: []float64{9.0, 1.0, 5.0, 3.0},
+		ntts:      []float64{3.0, 1.0, 2.0, 1.5},
+		makespan:  1 << 20,
+	}
+	want := append([]float64(nil), sm.latencies...)
+	wantNTT := append([]float64(nil), sm.ntts...)
+	if _, err := s.statsOf(&sm); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if sm.latencies[i] != want[i] {
+			t.Fatalf("statsOf reordered latencies in place: %v (want %v)", sm.latencies, want)
+		}
+		if sm.ntts[i] != wantNTT[i] {
+			t.Fatalf("statsOf reordered ntts in place: %v (want %v)", sm.ntts, wantNTT)
+		}
 	}
 }

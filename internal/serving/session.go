@@ -156,7 +156,7 @@ func (ss *Session) Stats() (BatchStats, error) {
 		return BatchStats{}, err
 	}
 	if !ss.statsValid {
-		out, err := ss.srv.statsOf(ss.samples)
+		out, err := ss.srv.statsOf(&ss.samples)
 		if err != nil {
 			return BatchStats{}, err
 		}
@@ -179,7 +179,7 @@ func (ss *Session) refresh() error {
 	if err != nil {
 		return err
 	}
-	ss.samples = sm
+	ss.samples = *sm
 	ss.dirty = false
 	ss.statsValid = false
 	return nil
@@ -235,9 +235,9 @@ func materialize(id int, t *workload.Task) *workload.Task {
 
 // compute re-simulates the submitted stream and collects its raw
 // measured samples.
-func (ss *Session) compute() (sampleSet, error) {
+func (ss *Session) compute() (*sampleSet, error) {
 	if len(ss.reqs) == 0 {
-		return sampleSet{}, fmt.Errorf("serving: no requests submitted")
+		return nil, fmt.Errorf("serving: no requests submitted")
 	}
 	fresh := make([]*workload.Task, len(ss.reqs))
 	for i, t := range ss.reqs {
@@ -248,18 +248,18 @@ func (ss *Session) compute() (sampleSet, error) {
 	if ss.cfg.Window <= 0 {
 		res, err := ss.srv.simulate(ss.cfg.Policy, ss.cfg.Preemptive, ss.cfg.Selector, fresh)
 		if err != nil {
-			return sampleSet{}, err
+			return nil, err
 		}
 		return ss.srv.collectTasks(res, ss.cut()), nil
 	}
 
 	tasks, members, err := ss.coalesce(fresh)
 	if err != nil {
-		return sampleSet{}, err
+		return nil, err
 	}
 	res, err := ss.srv.simulate(ss.cfg.Policy, ss.cfg.Preemptive, ss.cfg.Selector, tasks)
 	if err != nil {
-		return sampleSet{}, err
+		return nil, err
 	}
 	return ss.srv.collectMembers(res, members, ss.cut()), nil
 }

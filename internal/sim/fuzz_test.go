@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"testing"
 	"time"
@@ -52,29 +53,79 @@ func TestRandomizedConfigurations(t *testing.T) {
 		}
 
 		res := runScenario(t, cfg, scfg, policy, preemptive, selector, tasks)
-		for _, task := range res.Tasks {
-			if task.State != sched.Finished {
-				t.Fatalf("trial %d (%s/%s): task %d unfinished",
-					trial, policy, selector, task.ID)
-			}
-			if task.Completion < task.Arrival {
-				t.Fatalf("trial %d: task %d completed before arrival", trial, task.ID)
-			}
-			if task.Turnaround() < task.IsolatedCycles {
-				t.Fatalf("trial %d (%s/%s): task %d turnaround %d < isolated %d",
-					trial, policy, selector, task.ID, task.Turnaround(), task.IsolatedCycles)
-			}
+		checkSimInvariants(t, res, preemptive,
+			fmt.Sprintf("trial %d (%s/%s)", trial, policy, selector))
+	}
+}
+
+// checkSimInvariants asserts the run-independent simulator invariants
+// shared by the randomized trials above and FuzzSimInvariants below.
+func checkSimInvariants(t *testing.T, res *Result, preemptive bool, label string) {
+	t.Helper()
+	for _, task := range res.Tasks {
+		if task.State != sched.Finished {
+			t.Fatalf("%s: task %d unfinished", label, task.ID)
 		}
-		if err := res.Timeline.Validate(); err != nil {
-			t.Fatalf("trial %d (%s/%s): %v", trial, policy, selector, err)
+		if task.Completion < task.Arrival {
+			t.Fatalf("%s: task %d completed before arrival", label, task.ID)
 		}
-		if busy := res.Timeline.BusyCycles(); busy > res.Cycles {
-			t.Fatalf("trial %d: busy %d > makespan %d", trial, busy, res.Cycles)
-		}
-		if !preemptive && len(res.Preemptions) != 0 {
-			t.Fatalf("trial %d: NP run recorded preemptions", trial)
+		if task.Turnaround() < task.IsolatedCycles {
+			t.Fatalf("%s: task %d turnaround %d < isolated %d",
+				label, task.ID, task.Turnaround(), task.IsolatedCycles)
 		}
 	}
+	if err := res.Timeline.Validate(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if busy := res.Timeline.BusyCycles(); busy > res.Cycles {
+		t.Fatalf("%s: busy %d > makespan %d", label, busy, res.Cycles)
+	}
+	if !preemptive && len(res.Preemptions) != 0 {
+		t.Fatalf("%s: NP run recorded preemptions", label)
+	}
+}
+
+// FuzzSimInvariants is the coverage-guided variant of
+// TestRandomizedConfigurations: the fuzzer drives the raw scenario
+// knobs (workload seed, policy, task count, arrival window, quantum,
+// preemption mechanism) and every generated run must satisfy the same
+// invariants. ci.sh exercises the seed corpus plus a short fuzz burst
+// on every run (`go test -fuzz=FuzzSimInvariants -fuzztime=5s`).
+func FuzzSimInvariants(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(2), uint16(10), uint16(500), false, uint8(0))
+	f.Add(uint64(0xF022), uint8(5), uint8(7), uint16(25), uint16(1500), true, uint8(4))
+	f.Add(uint64(42), uint8(2), uint8(0), uint16(0), uint16(50), true, uint8(6))
+	f.Add(uint64(7), uint8(4), uint8(9), uint16(3), uint16(1999), true, uint8(1))
+
+	policies := []string{"FCFS", "RRB", "HPF", "TOKEN", "SJF", "PREMA"}
+	selectors := []string{"static-checkpoint", "static-kill", "static-drain",
+		"static-kill-layer", "dynamic", "dynamic-kill", "dynamic-kill-layer"}
+
+	f.Fuzz(func(t *testing.T, seed uint64, policyIdx, nTasks uint8,
+		windowMs, quantumUs uint16, preemptive bool, selectorIdx uint8) {
+
+		cfg, _, gen := fixtures(t)
+		scfg := sched.DefaultConfig()
+		scfg.Quantum = time.Duration(50+int(quantumUs)%2000) * time.Microsecond
+
+		spec := workload.Spec{
+			Tasks:         1 + int(nTasks)%10,
+			ArrivalWindow: time.Duration(int(windowMs)%30)*time.Millisecond + time.Millisecond,
+		}
+		tasks, err := gen.Generate(spec, workload.RNGFor(seed, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		policy := policies[int(policyIdx)%len(policies)]
+		selector := ""
+		if preemptive {
+			selector = selectors[int(selectorIdx)%len(selectors)]
+		}
+		res := runScenario(t, cfg, scfg, policy, preemptive, selector, tasks)
+		checkSimInvariants(t, res, preemptive,
+			fmt.Sprintf("seed %#x (%s/%s)", seed, policy, selector))
+	})
 }
 
 // TestSimultaneousArrivals exercises the degenerate arrival pattern where

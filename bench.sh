@@ -2,7 +2,8 @@
 # bench.sh — serving-path performance tracking in one command: runs the
 # streaming hot-path benchmarks (NodeSession submit throughput, router
 # decide cost, autoscale tick overhead, end-to-end chaos-scenario
-# replay) and emits BENCH_serving.json so
+# replay, control-plane snapshot under load) and emits
+# BENCH_serving.json so
 # the perf trajectory is diffable from PR to PR. The derived
 # "autoscale-tick-overhead" entry is the per-request ns delta between
 # the autoscaled and the plain submit path.
@@ -23,6 +24,7 @@ run_bench() {
 run_bench 'BenchmarkNodeSessionSubmit' ./internal/serving
 run_bench 'BenchmarkRouterDecide|BenchmarkRouteLeastQueued/pruned-8000' ./internal/cluster
 run_bench 'BenchmarkScenarioReplay' ./internal/scenario
+run_bench 'BenchmarkPlaneSnapshotUnderLoad' ./internal/ctl
 cat "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '

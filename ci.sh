@@ -6,6 +6,9 @@
 set -eu
 cd "$(dirname "$0")"
 
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
 	echo "gofmt: the following files need formatting:" >&2
@@ -35,7 +38,7 @@ fi
 # concurrency-dense code in the repo) race-check in -short mode — the
 # full experiment sweeps blow past go test's timeout under the race
 # detector, and the engine/cache race coverage lives in the fast tests.
-go test -race ./internal/serving/... ./internal/cluster/... ./internal/autoscale/... ./internal/scenario/...
+go test -race ./internal/serving/... ./internal/cluster/... ./internal/autoscale/... ./internal/scenario/... ./internal/ctl/...
 go test -race -short ./internal/sim/... ./internal/exp/...
 
 # Coverage-guided smoke: exercise the simulator fuzz target's seed
@@ -62,6 +65,26 @@ go run ./cmd/premasim -autoscale queue-depth -slo 8ms -min-npus 1 -max-npus 4 -p
 for scn in scenarios/*.txt; do
 	go run ./cmd/premasim -scenario "$scn" >/dev/null
 done
+go run ./cmd/premasim -scenario scenarios/baseline.txt \
+	-report-json "$tmpdir/baseline.json" >/dev/null
+grep -q '"source": "scenario"' "$tmpdir/baseline.json"
+
+# Control-plane replay: the checked-in command script must run clean at
+# time-scale 0 and produce the same transcript and report digest on
+# every replay — the live REPL's determinism contract, checked the same
+# way the scenario corpus is.
+echo "smoke: cmd/premactl"
+replay_ctl() {
+	go run ./cmd/premactl -script scenarios/cordon-compensate.ctl \
+		-timescale 0 -seed 7 -segment 25ms -min-npus 2 -max-npus 4 \
+		-load 2 -name cordon-compensate \
+		-report-json "$tmpdir/ctl-$1.json" > "$tmpdir/ctl-$1.txt"
+}
+replay_ctl a
+replay_ctl b
+cmp "$tmpdir/ctl-a.txt" "$tmpdir/ctl-b.txt"
+cmp "$tmpdir/ctl-a.json" "$tmpdir/ctl-b.json"
+grep -q '"source": "premactl"' "$tmpdir/ctl-a.json"
 echo "smoke: cmd/premazoo"
 go run ./cmd/premazoo -config >/dev/null
 echo "smoke: cmd/premapredict"

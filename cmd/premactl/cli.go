@@ -1,0 +1,149 @@
+package main
+
+// cli.go is premactl's flag surface, extracted into a testable
+// parseCLI mirroring premasim's: every flag parses into one cli struct
+// and misconfigured combinations fail eagerly with targeted errors.
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	prema "repro"
+)
+
+// cli holds the parsed command line.
+type cli struct {
+	npus       int
+	routing    string
+	policy     string
+	preemptive bool
+	mechanism  string
+	autoscale  string
+	slo        time.Duration
+	minNPUs    int
+	maxNPUs    int
+	models     string
+	seed       int
+	segment    time.Duration
+	step       time.Duration
+	timescale  float64
+	load       float64
+	script     string
+	listen     string
+	reportJSON string
+	reportHTML string
+	name       string
+
+	// set records which flags the user passed explicitly.
+	set map[string]bool
+}
+
+// parseCLI parses and validates the command line. It returns
+// flag.ErrHelp unwrapped so main can exit 0 on -h.
+func parseCLI(args []string) (*cli, error) {
+	c := &cli{}
+	fs := flag.NewFlagSet("premactl", flag.ContinueOnError)
+	fs.IntVar(&c.npus, "npus", 2, "initial fleet size")
+	fs.StringVar(&c.routing, "routing", "least-work",
+		"cluster routing policy: round-robin|least-queued|least-work")
+	fs.StringVar(&c.policy, "policy", "PREMA",
+		"NPU-local scheduling policy: "+strings.Join(prema.Policies(), "|"))
+	fs.BoolVar(&c.preemptive, "preemptive", true, "enable the preemptible-NPU path")
+	fs.StringVar(&c.mechanism, "mechanism", "dynamic",
+		"preemption mechanism selector: "+strings.Join(prema.Mechanisms(), "|"))
+	fs.StringVar(&c.autoscale, "autoscale", "queue-depth",
+		"autoscaling policy ('' fixes the fleet): "+strings.Join(prema.Scalers(), "|"))
+	fs.DurationVar(&c.slo, "slo", 8*time.Millisecond, "P95 latency SLO the autoscaler targets")
+	fs.IntVar(&c.minNPUs, "min-npus", 1, "autoscaling fleet minimum")
+	fs.IntVar(&c.maxNPUs, "max-npus", 8, "autoscaling fleet maximum")
+	fs.StringVar(&c.models, "models", "CNN-AN,CNN-GN,CNN-MN,RNN-SA",
+		"comma-separated request mix ('' serves the full evaluation suite)")
+	fs.IntVar(&c.seed, "seed", 0, "arrival seed (0 = the fixed default shared with scenarios)")
+	fs.DurationVar(&c.segment, "segment", 20*time.Millisecond,
+		"arrival-generation window; load changes apply at segment boundaries")
+	fs.DurationVar(&c.step, "step", time.Millisecond, "clock-advance granularity")
+	fs.Float64Var(&c.timescale, "timescale", 1,
+		"virtual seconds per wall second (0 = no wall pacing: clock moves only under step/script)")
+	fs.Float64Var(&c.load, "load", 1, "initial offered load per NPU-capacity")
+	fs.StringVar(&c.script, "script", "",
+		"command script to run instead of the REPL (@<time> <command> lines)")
+	fs.StringVar(&c.listen, "listen", "",
+		"serve the command API over HTTP on this address (e.g. :8080)")
+	fs.StringVar(&c.reportJSON, "report-json", "", "write the final run report as JSON to this file")
+	fs.StringVar(&c.reportHTML, "report-html", "", "write the final run report as HTML to this file")
+	fs.StringVar(&c.name, "name", "", "label for the run's report")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	c.set = map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { c.set[f.Name] = true })
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// validate rejects misconfigured flag combinations eagerly.
+func (c *cli) validate() error {
+	if c.npus < 1 {
+		return fmt.Errorf("-npus must be at least 1")
+	}
+	if c.timescale < 0 {
+		return fmt.Errorf("-timescale must be non-negative")
+	}
+	if c.load < 0 {
+		return fmt.Errorf("-load must be non-negative")
+	}
+	if c.autoscale == "" && (c.set["slo"] || c.set["min-npus"] || c.set["max-npus"]) {
+		return fmt.Errorf("-slo/-min-npus/-max-npus only apply to autoscaled fleets: drop -autoscale '' or the bound flags")
+	}
+	if c.set["script"] && c.script == "" {
+		return fmt.Errorf("-script needs a file path")
+	}
+	return nil
+}
+
+// planeConfig assembles the facade configuration from the flags.
+func (c *cli) planeConfig() (prema.ControlPlaneConfig, error) {
+	policy, err := prema.ParsePolicy(c.policy)
+	if err != nil {
+		return prema.ControlPlaneConfig{}, err
+	}
+	sched := prema.Scheduler{Policy: policy, Preemptive: c.preemptive}
+	if c.preemptive || c.set["mechanism"] {
+		if sched.Mechanism, err = prema.ParseMechanism(c.mechanism); err != nil {
+			return prema.ControlPlaneConfig{}, err
+		}
+	}
+	routing, err := prema.ParseRouting(c.routing)
+	if err != nil {
+		return prema.ControlPlaneConfig{}, err
+	}
+	cfg := prema.ControlPlaneConfig{
+		NPUs:      c.npus,
+		Routing:   routing,
+		Scheduler: sched,
+		Seed:      uint64(c.seed),
+		Segment:   c.segment,
+		Step:      c.step,
+		TimeScale: c.timescale,
+		Load:      c.load,
+		Name:      c.name,
+	}
+	if c.models != "" {
+		for _, m := range strings.Split(c.models, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				cfg.Models = append(cfg.Models, m)
+			}
+		}
+	}
+	if c.autoscale != "" {
+		cfg.Autoscale = &prema.AutoscaleConfig{
+			Scaler: c.autoscale, SLO: c.slo,
+			MinNPUs: c.minNPUs, MaxNPUs: c.maxNPUs,
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseCLIMatrix locks in the flag rules: which command lines
+// parse, which fail eagerly, and with what message.
+func TestParseCLIMatrix(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of the error; "" means must succeed
+	}{
+		{name: "defaults", args: nil},
+		{name: "scripted ci run", args: []string{"-script", "s.ctl", "-timescale", "0"}},
+		{name: "fixed fleet", args: []string{"-autoscale", "", "-npus", "3"}},
+		{name: "full surface", args: []string{
+			"-npus", "2", "-routing", "round-robin", "-policy", "FCFS", "-preemptive=false",
+			"-autoscale", "queue-depth", "-slo", "6ms", "-min-npus", "2", "-max-npus", "6",
+			"-seed", "9", "-segment", "25ms", "-step", "500us", "-timescale", "4",
+			"-load", "2.5", "-listen", ":0", "-report-json", "r.json", "-report-html", "r.html",
+			"-name", "ops-drill"}},
+
+		{name: "zero npus", args: []string{"-npus", "0"},
+			wantErr: "-npus must be at least 1"},
+		{name: "negative timescale", args: []string{"-timescale", "-1"},
+			wantErr: "-timescale must be non-negative"},
+		{name: "negative load", args: []string{"-load", "-0.5"},
+			wantErr: "-load must be non-negative"},
+		{name: "slo without autoscale", args: []string{"-autoscale", "", "-slo", "5ms"},
+			wantErr: "only apply to autoscaled fleets"},
+		{name: "bounds without autoscale", args: []string{"-autoscale", "", "-min-npus", "2"},
+			wantErr: "only apply to autoscaled fleets"},
+		{name: "empty script path", args: []string{"-script", ""},
+			wantErr: "-script needs a file path"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := parseCLI(tc.args)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseCLI(%v) = %v, want success", tc.args, err)
+				}
+				if c == nil {
+					t.Fatal("nil cli on success")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseCLI(%v) succeeded, want error containing %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseCLI(%v) = %q, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestPlaneConfig checks the flag-to-facade translation: models split,
+// autoscale attachment, and the fixed-fleet form.
+func TestPlaneConfig(t *testing.T) {
+	c, err := parseCLI([]string{"-models", "CNN-AN, RNN-SA", "-slo", "6ms", "-segment", "25ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := c.planeConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Models) != 2 || cfg.Models[0] != "CNN-AN" || cfg.Models[1] != "RNN-SA" {
+		t.Errorf("models = %v", cfg.Models)
+	}
+	if cfg.Autoscale == nil || cfg.Autoscale.SLO != 6*time.Millisecond {
+		t.Errorf("autoscale = %+v", cfg.Autoscale)
+	}
+	if cfg.Segment != 25*time.Millisecond {
+		t.Errorf("segment = %v", cfg.Segment)
+	}
+
+	c, err = parseCLI([]string{"-autoscale", "", "-models", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = c.planeConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Autoscale != nil {
+		t.Errorf("fixed fleet grew an autoscaler: %+v", cfg.Autoscale)
+	}
+	if cfg.Models != nil {
+		t.Errorf("empty -models should serve the full suite, got %v", cfg.Models)
+	}
+}
+
+// TestScriptedRun drives the whole binary body over a temp script and
+// checks the replay artifacts land on disk deterministically.
+func TestScriptedRun(t *testing.T) {
+	dir := t.TempDir()
+	script := dir + "/session.ctl"
+	if err := os.WriteFile(script, []byte("@5ms list\n@20ms snapshot\n@40ms quit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	readFile := func(path string) string {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return string(b)
+	}
+	runOnce := func(tag string) (string, string) {
+		jsonPath := dir + "/" + tag + ".json"
+		outPath := dir + "/" + tag + ".out"
+		out, err := os.Create(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := run([]string{"-script", script, "-timescale", "0", "-report-json", jsonPath}, nil, out)
+		out.Close()
+		if code != 0 {
+			t.Fatalf("run exit = %d", code)
+		}
+		return readFile(outPath), readFile(jsonPath)
+	}
+	t1, j1 := runOnce("first")
+	t2, j2 := runOnce("second")
+	if t1 != t2 {
+		t.Errorf("transcripts differ:\n%s\n---\n%s", t1, t2)
+	}
+	if j1 != j2 {
+		t.Errorf("reports differ:\n%s\n---\n%s", j1, j2)
+	}
+	if !strings.Contains(j1, `"source": "premactl"`) {
+		t.Errorf("report missing source: %s", j1)
+	}
+}

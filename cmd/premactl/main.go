@@ -1,0 +1,160 @@
+// Command premactl is the live control plane driver: an interactive
+// REPL (or a timestamped command script) over an autoscaled NPU fleet
+// whose deterministic stream clock advances against wall time at a
+// configurable time-scale — pausable, single-steppable, observable via
+// metrics snapshots, and exportable as a JSON/HTML run report.
+//
+// Usage:
+//
+//	premactl                                      # REPL at real time
+//	premactl -timescale 0                         # REPL, manual stepping only
+//	premactl -script session.ctl -timescale 0     # replay a scripted session
+//	premactl -listen :8080                        # mirror the command API over HTTP
+//	premactl -script s.ctl -report-json run.json -report-html run.html
+//
+// Commands are serialized into the clock loop between ticks, so the
+// same command script at the same virtual timestamps replays
+// byte-identically, and a scripted session is stat-identical to the
+// equivalent declarative scenario run (premasim -scenario). Type `help`
+// at the prompt for the command vocabulary.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	prema "repro"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout))
+}
+
+// run is main's testable body; it returns the exit code.
+func run(args []string, stdin *os.File, stdout *os.File) int {
+	c, err := parseCLI(args)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return fail(err)
+	}
+	cfg, err := c.planeConfig()
+	if err != nil {
+		return fail(err)
+	}
+	sys, err := prema.NewSystem()
+	if err != nil {
+		return fail(err)
+	}
+	plane, err := sys.OpenControlPlane(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	defer plane.Close() //premalint:ignore errdrop the report was already exported; teardown of a sealed plane has nothing left to corrupt
+
+	if c.listen != "" {
+		ln, err := net.Listen("tcp", c.listen)
+		if err != nil {
+			return fail(err)
+		}
+		defer ln.Close() //premalint:ignore errdrop closing the listener at exit; the sockets' fate no longer affects the run
+		fmt.Fprintf(stdout, "premactl: command API on http://%s (/cmd?q=..., /snapshot, /report)\n", ln.Addr())
+		srv := &http.Server{Handler: plane.Handler()}
+		go srv.Serve(ln) //premalint:ignore errdrop Serve returns ErrServerClosed on the exit path; the session's outcome is the plane's, not the mirror's
+	}
+
+	code := 0
+	if c.script != "" {
+		code = runScript(plane, c.script, stdout)
+	} else {
+		code = runREPL(plane, c, stdin, stdout)
+	}
+	if err := writeReports(plane, c); err != nil {
+		return fail(err)
+	}
+	return code
+}
+
+// runScript replays a timestamped command script and prints the
+// transcript (the byte-identical replay artifact).
+func runScript(plane *prema.ControlPlane, path string, stdout *os.File) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return fail(err)
+	}
+	transcript, err := plane.RunScript(string(src))
+	fmt.Fprint(stdout, transcript)
+	if err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// runREPL drives the interactive session: a Pace loop advances the
+// clock at the configured time-scale while commands execute between
+// virtual steps. EOF seals the session like `quit`.
+func runREPL(plane *prema.ControlPlane, c *cli, stdin *os.File, stdout *os.File) int {
+	go plane.Pace() //premalint:ignore errdrop Pace's error resurfaces through plane.Err after the loop; the REPL checks it on exit
+	fmt.Fprintf(stdout, "premactl: %d NPUs, timescale %gx, load %g — `help` lists commands\n",
+		c.npus, c.timescale, c.load)
+	sc := bufio.NewScanner(stdin)
+	for !plane.Done() {
+		fmt.Fprintf(stdout, "premactl@%.2fms> ", plane.NowMS())
+		if !sc.Scan() {
+			fmt.Fprintln(stdout)
+			break
+		}
+		out, err := plane.Exec(sc.Text())
+		if err != nil {
+			fmt.Fprintf(stdout, "error: %v\n", err)
+			continue
+		}
+		if out != "" {
+			fmt.Fprintln(stdout, out)
+		}
+	}
+	if !plane.Done() {
+		if _, err := plane.Exec("quit"); err != nil {
+			return fail(err)
+		}
+	}
+	if err := plane.Err(); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// writeReports exports the run report in the requested forms.
+func writeReports(plane *prema.ControlPlane, c *cli) error {
+	rep := plane.Report()
+	if c.reportJSON != "" {
+		js, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.reportJSON, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if c.reportHTML != "" {
+		page, err := rep.HTML()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.reportHTML, page, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "premactl:", err)
+	return 1
+}

@@ -13,7 +13,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit = %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"determinism", "errdrop", "facadeimport", "registryonce", "statecopy"} {
+	for _, name := range []string{"determinism", "errdrop", "facadeimport", "registryonce", "statecopy", "timerinsim"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}

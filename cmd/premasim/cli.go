@@ -38,6 +38,8 @@ type cli struct {
 	minNPUs      int
 	maxNPUs      int
 	scenario     string
+	reportJSON   string
+	reportHTML   string
 
 	// set records which flags the user passed explicitly; defaults
 	// never trigger the combination checks.
@@ -81,6 +83,10 @@ func parseCLI(args []string) (*cli, error) {
 	fs.IntVar(&c.maxNPUs, "max-npus", 4, "autoscaling fleet maximum")
 	fs.StringVar(&c.scenario, "scenario", "",
 		"declarative chaos scenario file to execute (see scenarios/); conflicts with every other flag")
+	fs.StringVar(&c.reportJSON, "report-json", "",
+		"write the scenario's run report (the schema premactl exports) as JSON to this file; requires -scenario")
+	fs.StringVar(&c.reportHTML, "report-html", "",
+		"write the scenario's run report as a self-contained HTML page to this file; requires -scenario")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -97,9 +103,11 @@ func (c *cli) validate() error {
 	if c.set["scenario"] {
 		// A scenario file declares the whole run — fleet, scheduler,
 		// load, seed — so every other flag would be silently ignored.
+		// The report exporters are outputs, not run parameters, so they
+		// compose with -scenario.
 		names := make([]string, 0, len(c.set))
 		for name := range c.set {
-			if name != "scenario" {
+			if name != "scenario" && name != "report-json" && name != "report-html" {
 				names = append(names, name)
 			}
 		}
@@ -111,6 +119,9 @@ func (c *cli) validate() error {
 			return fmt.Errorf("-scenario needs a file path")
 		}
 		return nil
+	}
+	if c.set["report-json"] || c.set["report-html"] {
+		return fmt.Errorf("-report-json/-report-html export a scenario's run report: add -scenario <file>")
 	}
 	if c.set["routing"] && c.npus == 1 && c.clients == 0 && c.autoscale == "" {
 		return fmt.Errorf("-routing needs a multi-NPU node: combine it with -npus > 1, -clients or -autoscale")

@@ -19,6 +19,8 @@ func TestParseCLIMatrix(t *testing.T) {
 		{name: "closed loop", args: []string{"-clients", "8", "-think", "1ms"}},
 		{name: "autoscale", args: []string{"-autoscale", "queue-depth", "-slo", "8ms", "-min-npus", "1", "-max-npus", "6"}},
 		{name: "scenario alone", args: []string{"-scenario", "scenarios/single-failure.txt"}},
+		{name: "scenario with report exports",
+			args: []string{"-scenario", "x.txt", "-report-json", "out.json", "-report-html", "out.html"}},
 
 		{name: "scenario empty path", args: []string{"-scenario", ""},
 			wantErr: "-scenario needs a file path"},
@@ -35,6 +37,11 @@ func TestParseCLIMatrix(t *testing.T) {
 		{name: "scenario conflict reports first flag alphabetically",
 			args:    []string{"-scenario", "x.txt", "-seed", "3", "-policy", "FCFS"},
 			wantErr: "-policy conflicts with -scenario"},
+
+		{name: "report json without scenario", args: []string{"-report-json", "out.json"},
+			wantErr: "add -scenario"},
+		{name: "report html without scenario", args: []string{"-report-html", "out.html"},
+			wantErr: "add -scenario"},
 
 		{name: "routing alone", args: []string{"-routing", "least-queued"},
 			wantErr: "-routing needs a multi-NPU node"},

@@ -37,7 +37,7 @@ func main() {
 	}
 
 	if c.scenario != "" {
-		runScenario(c.scenario)
+		runScenario(c)
 		return
 	}
 
@@ -156,9 +156,11 @@ func main() {
 }
 
 // runScenario executes one declarative chaos scenario file and prints
-// its report; a failed assertion exits non-zero.
-func runScenario(path string) {
-	src, err := os.ReadFile(path)
+// its report; a failed assertion exits non-zero. -report-json and
+// -report-html export the run through the shared RunReport schema —
+// the same shape premactl sessions emit.
+func runScenario(c *cli) {
+	src, err := os.ReadFile(c.scenario)
 	if err != nil {
 		fatal(err)
 	}
@@ -175,6 +177,27 @@ func runScenario(path string) {
 		fatal(err)
 	}
 	fmt.Print(rep.Render())
+	if c.reportJSON != "" || c.reportHTML != "" {
+		run := prema.ReportFromScenario(rep)
+		if c.reportJSON != "" {
+			js, err := run.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(c.reportJSON, append(js, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if c.reportHTML != "" {
+			page, err := run.HTML()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(c.reportHTML, page, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	if !rep.Passed {
 		os.Exit(1)
 	}

@@ -126,8 +126,14 @@ func (s *State) Routable(i int) bool {
 // horizon entry, which is what lets Fail reclaim the work that had not
 // drained when a backend is lost. Tracking must be enabled before any
 // work is committed; enabling it mid-stream would leave untracked
-// horizons that a failure could not reclaim.
+// horizons that a failure could not reclaim. Calling it again on a
+// state that already tracks is a no-op, so long-lived sessions (the
+// control plane enables the ledger at open) can schedule failures at
+// any point in the stream.
 func (s *State) TrackWork() error {
+	if s.track {
+		return nil
+	}
 	for i := range s.horizons {
 		if len(s.horizons[i]) > 0 {
 			return fmt.Errorf("cluster: work tracking must be enabled before any work is routed")

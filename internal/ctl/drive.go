@@ -1,0 +1,65 @@
+package ctl
+
+// drive.go is the wall-clock boundary: the only place the control plane
+// touches real time, and the one sanctioned timer call site in the
+// simulation path (the timerinsim lint rule enforces this). Pacing only
+// decides when the next virtual step is taken — every simulated outcome
+// is a pure function of the virtual clock, so a paced session computes
+// exactly what an unpaced replay of the same commands computes.
+
+import "time"
+
+// Pace advances the plane step by step against the wall clock at the
+// configured time-scale until it quits, returning the error that
+// stopped it (nil on a clean quit). While paused — or at time-scale 0,
+// where only `step` moves the clock — Pace idles, polling for a resume
+// or quit. Run it from its own goroutine next to an interactive REPL.
+func (p *Plane) Pace() error {
+	for {
+		p.mu.Lock()
+		if p.quit {
+			err := p.err
+			p.mu.Unlock()
+			return err
+		}
+		advancing := !p.paused && p.cfg.TimeScale > 0
+		if advancing {
+			if err := p.advanceClockTo(p.now + p.stepCycles); err != nil {
+				p.err = err
+				p.quit = true
+				p.mu.Unlock()
+				return err
+			}
+		}
+		p.mu.Unlock()
+		if advancing {
+			p.sleepVirtual(p.stepCycles)
+		} else {
+			p.sleepWall(pollInterval)
+		}
+	}
+}
+
+// pollInterval is how often a paused (or unpaced) Pace loop re-checks
+// for resume/quit.
+const pollInterval = 25 * time.Millisecond
+
+// sleepVirtual sleeps the wall-clock equivalent of a virtual gap at the
+// configured time-scale; at time-scale 0 it returns immediately (no
+// wall-clock dependence at all — the CI mode).
+func (p *Plane) sleepVirtual(cycles int64) {
+	if p.cfg.TimeScale <= 0 || cycles <= 0 {
+		return
+	}
+	virtual := time.Duration(p.millis(cycles) * float64(time.Millisecond))
+	p.sleepWall(time.Duration(float64(virtual) / p.cfg.TimeScale))
+}
+
+// sleepWall is the single wall-clock call site behind all pacing.
+func (p *Plane) sleepWall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	//premalint:ignore timerinsim pacing only schedules when the next virtual step runs, never what it computes; every simulated outcome stays a pure function of the virtual clock
+	time.Sleep(d)
+}

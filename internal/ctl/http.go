@@ -1,0 +1,71 @@
+package ctl
+
+// http.go mirrors the command API over HTTP as JSON — the `-listen`
+// endpoint of cmd/premactl. Handlers funnel through the same
+// mutex-serialized execution path as the REPL and scripts, so remote
+// commands interleave with the clock loop deterministically; only the
+// arrival order of concurrent HTTP requests is up to the network, just
+// as the typing order is up to the operator in a REPL.
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// cmdResponse is the /cmd JSON shape.
+type cmdResponse struct {
+	AtMS   float64 `json:"at_ms"`
+	Cmd    string  `json:"cmd"`
+	Output string  `json:"output,omitempty"`
+	Err    string  `json:"error,omitempty"`
+}
+
+// Handler exposes the control plane over HTTP:
+//
+//	GET /cmd?q=<command>   execute one command line
+//	GET /snapshot          the point-in-time metrics snapshot
+//	GET /report            the run report (live, or final after quit)
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cmd", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, `missing command: /cmd?q=list`, http.StatusBadRequest)
+			return
+		}
+		out, err := p.Exec(q)
+		resp := cmdResponse{AtMS: p.NowMS(), Cmd: q, Output: out}
+		status := http.StatusOK
+		if err != nil {
+			resp.Err = err.Error()
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, resp)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Snapshot())
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Report())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("premactl control plane\n  /cmd?q=<command>\n  /snapshot\n  /report\n"))
+	})
+	return mux
+}
+
+// writeJSON writes one indented JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The response writer owns delivery failures; the encode itself
+	// cannot fail for these shapes.
+	_ = enc.Encode(v) //premalint:ignore errdrop a client that hung up mid-response has nothing left to receive; the plane's state is untouched
+}

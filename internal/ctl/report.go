@@ -1,0 +1,301 @@
+package ctl
+
+// report.go is the exportable run report — one schema shared by control
+// plane sessions (Source "premactl") and declarative scenario runs
+// (Source "scenario", via FromScenario), so dashboards and CI diffing
+// consume a single shape regardless of which surface drove the fleet.
+// JSON is the machine form; HTML is a self-contained single-file page
+// in the stress-report style. Both renderings are pure functions of the
+// report's fields — no wall-clock timestamps anywhere — so a
+// deterministic run exports byte-identical artifacts.
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// ReportEvent is one fleet-timeline entry.
+type ReportEvent struct {
+	// AtMS is the virtual instant in milliseconds.
+	AtMS float64 `json:"at_ms"`
+	// Kind is "start", "scale", "drain", "fail", "slowdown", "restore",
+	// "cordon" or "uncordon".
+	Kind string `json:"kind"`
+	// NPU is the target backend index; -1 for start and scale events.
+	NPU int `json:"npu"`
+	// Delta is the change in routable backends the event caused.
+	Delta int `json:"delta"`
+	// Fleet is the routable backend count after the event.
+	Fleet int `json:"fleet"`
+	// Note carries event detail (reclaimed count, slow factor).
+	Note string `json:"note,omitempty"`
+}
+
+// FleetSummary summarizes the fleet over the run.
+type FleetSummary struct {
+	// Start is the initial backend count.
+	Start int `json:"start"`
+	// MeanNPUs is the time-weighted mean routable fleet size.
+	MeanNPUs float64 `json:"mean_npus"`
+	// PeakNPUs is the largest routable size reached.
+	PeakNPUs int `json:"peak_npus"`
+}
+
+// LatencySummary is the realized steady-state latency view.
+type LatencySummary struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// SLOSummary reports realized latency against the scaler's target.
+type SLOSummary struct {
+	TargetMS      float64 `json:"target_ms"`
+	ViolationFrac float64 `json:"violation_frac"`
+}
+
+// AssertOutcome is one evaluated scenario assertion.
+type AssertOutcome struct {
+	Expr   string `json:"expr"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// RunReport is one run's exportable outcome: the schema premactl
+// sessions and premasim -scenario runs share.
+type RunReport struct {
+	// Name labels the run; Source is "premactl" or "scenario".
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	// Passed is the assertion verdict of a scenario run; nil for
+	// control plane sessions, which assert nothing.
+	Passed *bool `json:"passed,omitempty"`
+	// Requests is how many arrivals the run routed; SpanMS the virtual
+	// timeline length in milliseconds.
+	Requests int     `json:"requests"`
+	SpanMS   float64 `json:"span_ms"`
+	// Fleet, Latency and SLO summarize the run. SLO is nil without a
+	// scaler; StatsNote explains absent latency statistics.
+	Fleet     FleetSummary   `json:"fleet"`
+	Latency   LatencySummary `json:"latency"`
+	SLO       *SLOSummary    `json:"slo,omitempty"`
+	StatsNote string         `json:"stats_note,omitempty"`
+	// Timeline is the full fleet history; Commands the operator log
+	// (premactl runs only); Asserts the evaluated assertions (scenario
+	// runs only).
+	Timeline []ReportEvent   `json:"timeline"`
+	Commands []CommandRecord `json:"commands,omitempty"`
+	Asserts  []AssertOutcome `json:"asserts,omitempty"`
+}
+
+// buildReport derives the run report from the plane's current state;
+// the caller holds the mutex. It is callable mid-stream (the `report`
+// command) and at quit (the exported artifact).
+func (p *Plane) buildReport() *RunReport {
+	events := p.ns.Timeline()
+	r := &RunReport{
+		Name:     p.cfg.Name,
+		Source:   "premactl",
+		Requests: p.offered,
+		SpanMS:   p.millis(p.now),
+		Fleet: FleetSummary{
+			Start:    p.cfg.Node.NPUs,
+			MeanNPUs: scenario.MeanFleet(events, p.now),
+			PeakNPUs: scenario.PeakFleet(events),
+		},
+		Timeline: p.reportEvents(events),
+		Commands: append([]CommandRecord(nil), p.commands...),
+	}
+	st, err := p.realizedStats()
+	if err != nil {
+		r.StatsNote = err.Error()
+		return r
+	}
+	r.Latency = LatencySummary{
+		MeanMS: st.MeanLatencyMS,
+		P50MS:  st.P50LatencyMS,
+		P95MS:  st.P95LatencyMS,
+		P99MS:  st.P99LatencyMS,
+	}
+	if st.Scaling != nil {
+		r.SLO = &SLOSummary{
+			TargetMS:      st.Scaling.SLOLatencyMS,
+			ViolationFrac: st.Scaling.SLOViolationFrac,
+		}
+	}
+	return r
+}
+
+// Report answers the run report: the sealed artifact after quit, or a
+// live view of the stream so far.
+func (p *Plane) Report() *RunReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.final != nil {
+		return p.final
+	}
+	return p.buildReport()
+}
+
+// FromScenario converts a scenario report into the shared run-report
+// schema, so premasim -scenario exports the same JSON/HTML shape as a
+// premactl session.
+func FromScenario(rep *scenario.Report) *RunReport {
+	passed := rep.Passed
+	r := &RunReport{
+		Name:     rep.Name,
+		Source:   "scenario",
+		Passed:   &passed,
+		Requests: rep.Requests,
+		SpanMS:   rep.SpanMS,
+		Fleet: FleetSummary{
+			Start:    rep.FleetStart,
+			MeanNPUs: rep.Summary.MeanNPUs,
+			PeakNPUs: rep.Summary.PeakNPUs,
+		},
+		Latency: LatencySummary{
+			MeanMS: rep.Summary.MeanLatencyMS,
+			P50MS:  rep.Summary.P50LatencyMS,
+			P95MS:  rep.Summary.P95LatencyMS,
+			P99MS:  rep.Summary.P99LatencyMS,
+		},
+		Timeline: make([]ReportEvent, len(rep.Timeline)),
+	}
+	if rep.Summary.SLOLatencyMS > 0 {
+		r.SLO = &SLOSummary{
+			TargetMS:      rep.Summary.SLOLatencyMS,
+			ViolationFrac: rep.Summary.SLOViolationFrac,
+		}
+	}
+	for i, e := range rep.Timeline {
+		r.Timeline[i] = ReportEvent{
+			AtMS: e.AtMS, Kind: e.Kind, NPU: e.NPU,
+			Delta: e.Delta, Fleet: e.Fleet, Note: e.Note,
+		}
+	}
+	for _, a := range rep.Asserts {
+		r.Asserts = append(r.Asserts, AssertOutcome{
+			Expr: a.Expr, Pass: a.Pass, Detail: a.Detail,
+		})
+	}
+	return r
+}
+
+// JSON renders the report as indented JSON.
+func (r *RunReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render formats the report as a compact deterministic text block (the
+// `report` command's output).
+func (r *RunReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run %q (%s): %d requests over %.2fms\n",
+		r.Name, r.Source, r.Requests, r.SpanMS)
+	fmt.Fprintf(&b, "fleet: start %d, mean %.2f, peak %d — %d timeline events\n",
+		r.Fleet.Start, r.Fleet.MeanNPUs, r.Fleet.PeakNPUs, len(r.Timeline))
+	if r.StatsNote != "" {
+		fmt.Fprintf(&b, "latency: %s\n", r.StatsNote)
+	} else {
+		fmt.Fprintf(&b, "latency: mean %.2fms  p50 %.2fms  p95 %.2fms  p99 %.2fms\n",
+			r.Latency.MeanMS, r.Latency.P50MS, r.Latency.P95MS, r.Latency.P99MS)
+	}
+	if r.SLO != nil {
+		fmt.Fprintf(&b, "slo: %.1fms target, %.1f%% violated\n",
+			r.SLO.TargetMS, r.SLO.ViolationFrac*100)
+	}
+	if len(r.Commands) > 0 {
+		fmt.Fprintf(&b, "commands: %d executed\n", len(r.Commands))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// reportHTML is the self-contained single-file page template.
+const reportHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Name}} — run report</title>
+<style>
+body { font: 14px/1.5 -apple-system, "Segoe UI", sans-serif; color: #1b1f24; margin: 2rem auto; max-width: 60rem; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.05rem; margin-top: 1.8rem; }
+.meta { color: #57606a; }
+.badge { display: inline-block; padding: .1rem .55rem; border-radius: 1rem; font-weight: 600; }
+.pass { background: #dafbe1; color: #116329; } .fail { background: #ffebe9; color: #a40e26; }
+.tiles { display: flex; flex-wrap: wrap; gap: .8rem; margin-top: 1rem; }
+.tile { border: 1px solid #d0d7de; border-radius: .5rem; padding: .6rem .9rem; min-width: 8rem; }
+.tile b { display: block; font-size: 1.2rem; } .tile span { color: #57606a; font-size: .8rem; }
+table { border-collapse: collapse; width: 100%; margin-top: .6rem; }
+th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #d8dee4; font-size: .85rem; }
+th { color: #57606a; font-weight: 600; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.err { color: #a40e26; }
+code { background: #f6f8fa; padding: .1rem .3rem; border-radius: .3rem; }
+</style>
+</head>
+<body>
+<h1>{{.Name}} <span class="meta">({{.Source}} run)</span>
+{{- if .Passed}} {{if deref .Passed}}<span class="badge pass">PASS</span>{{else}}<span class="badge fail">FAIL</span>{{end}}{{end}}</h1>
+<div class="tiles">
+<div class="tile"><b>{{.Requests}}</b><span>requests</span></div>
+<div class="tile"><b>{{printf "%.1f" .SpanMS}}ms</b><span>span</span></div>
+<div class="tile"><b>{{.Fleet.Start}} &rarr; peak {{.Fleet.PeakNPUs}}</b><span>fleet (mean {{printf "%.2f" .Fleet.MeanNPUs}})</span></div>
+{{- if not .StatsNote}}
+<div class="tile"><b>{{printf "%.2f" .Latency.P95MS}}ms</b><span>p95 latency</span></div>
+{{- end}}
+{{- if .SLO}}
+<div class="tile"><b>{{printf "%.1f" (pct .SLO.ViolationFrac)}}%</b><span>over {{printf "%.1f" .SLO.TargetMS}}ms SLO</span></div>
+{{- end}}
+</div>
+{{- if .StatsNote}}
+<p class="meta">latency statistics unavailable: {{.StatsNote}}</p>
+{{- else}}
+<h2>Latency</h2>
+<table><tr><th class="num">mean</th><th class="num">p50</th><th class="num">p95</th><th class="num">p99</th></tr>
+<tr><td class="num">{{printf "%.2f" .Latency.MeanMS}}ms</td><td class="num">{{printf "%.2f" .Latency.P50MS}}ms</td><td class="num">{{printf "%.2f" .Latency.P95MS}}ms</td><td class="num">{{printf "%.2f" .Latency.P99MS}}ms</td></tr></table>
+{{- end}}
+<h2>Fleet timeline</h2>
+<table><tr><th class="num">at</th><th>event</th><th>npu</th><th class="num">delta</th><th class="num">fleet</th><th>note</th></tr>
+{{- range .Timeline}}
+<tr><td class="num">{{printf "%.2f" .AtMS}}ms</td><td>{{.Kind}}</td><td>{{if ge .NPU 0}}npu{{.NPU}}{{else}}&mdash;{{end}}</td><td class="num">{{if .Delta}}{{printf "%+d" .Delta}}{{end}}</td><td class="num">{{.Fleet}}</td><td>{{.Note}}</td></tr>
+{{- end}}
+</table>
+{{- if .Commands}}
+<h2>Command log</h2>
+<table><tr><th class="num">at</th><th>command</th><th>outcome</th></tr>
+{{- range .Commands}}
+<tr><td class="num">{{printf "%.2f" .AtMS}}ms</td><td><code>{{.Cmd}}</code></td><td>{{if .Err}}<span class="err">{{.Err}}</span>{{else}}{{firstLine .Output}}{{end}}</td></tr>
+{{- end}}
+</table>
+{{- end}}
+{{- if .Asserts}}
+<h2>Assertions</h2>
+<table><tr><th>verdict</th><th>assertion</th><th>detail</th></tr>
+{{- range .Asserts}}
+<tr><td>{{if .Pass}}<span class="badge pass">PASS</span>{{else}}<span class="badge fail">FAIL</span>{{end}}</td><td><code>{{.Expr}}</code></td><td>{{.Detail}}</td></tr>
+{{- end}}
+</table>
+{{- end}}
+</body>
+</html>
+`
+
+var reportTemplate = template.Must(template.New("report").Funcs(template.FuncMap{
+	"deref":     func(b *bool) bool { return b != nil && *b },
+	"pct":       func(f float64) float64 { return f * 100 },
+	"firstLine": func(s string) string { line, _, _ := strings.Cut(s, "\n"); return line },
+}).Parse(reportHTML))
+
+// HTML renders the report as a self-contained single-file page.
+func (r *RunReport) HTML() ([]byte, error) {
+	var b strings.Builder
+	if err := reportTemplate.Execute(&b, r); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}

@@ -1,0 +1,216 @@
+package ctl
+
+// report_test.go covers the shared run-report schema (premactl and
+// scenario runs export the same shape), the HTML rendering, the
+// snapshot's no-traffic explanations, and the HTTP mirror. The snapshot
+// benchmark backs bench.sh's snapshot-under-load entry.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/scenario"
+	"repro/internal/serving"
+)
+
+// runEquivScenario executes the equivalence scenario on a fresh server.
+func runEquivScenario(t *testing.T) *scenario.Report {
+	t.Helper()
+	sc, err := scenario.Parse(equivScenario)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rep, err := scenario.Run(newServer(t), sc)
+	if err != nil {
+		t.Fatalf("scenario.Run: %v", err)
+	}
+	return rep
+}
+
+func TestReportSchemaShared(t *testing.T) {
+	// A scenario run and a scripted session must marshal the same
+	// top-level JSON keys (modulo the optional per-source sections).
+	fromScenario := FromScenario(runEquivScenario(t))
+
+	p := newPlane(t)
+	if _, err := p.RunScript("@40ms snapshot\n@60ms quit\n"); err != nil {
+		t.Fatalf("RunScript: %v", err)
+	}
+	fromPlane := p.Report()
+
+	keys := func(r *RunReport) map[string]bool {
+		js, err := r.JSON()
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(js, &m); err != nil {
+			t.Fatalf("Unmarshal: %v", err)
+		}
+		out := map[string]bool{}
+		for k := range m {
+			out[k] = true
+		}
+		return out
+	}
+	ks, kp := keys(fromScenario), keys(fromPlane)
+	// Source-specific optional sections.
+	for _, k := range []string{"passed", "asserts", "commands", "slo", "stats_note"} {
+		delete(ks, k)
+		delete(kp, k)
+	}
+	for k := range ks {
+		if !kp[k] {
+			t.Errorf("scenario report key %q missing from premactl report", k)
+		}
+	}
+	for k := range kp {
+		if !ks[k] {
+			t.Errorf("premactl report key %q missing from scenario report", k)
+		}
+	}
+	if fromScenario.Source != "scenario" || fromPlane.Source != "premactl" {
+		t.Errorf("sources: %q / %q", fromScenario.Source, fromPlane.Source)
+	}
+	if fromScenario.Passed == nil {
+		t.Errorf("scenario report lost its verdict")
+	}
+	if fromPlane.Passed != nil {
+		t.Errorf("premactl report grew a verdict: %v", *fromPlane.Passed)
+	}
+	if len(fromPlane.Commands) == 0 {
+		t.Errorf("premactl report lost its command log")
+	}
+}
+
+func TestReportHTML(t *testing.T) {
+	p := newPlane(t)
+	if _, err := p.RunScript("@30ms cordon npu1\n@50ms list\n@80ms quit\n"); err != nil {
+		t.Fatalf("RunScript: %v", err)
+	}
+	page, err := p.Report().HTML()
+	if err != nil {
+		t.Fatalf("HTML: %v", err)
+	}
+	html := string(page)
+	for _, want := range []string{
+		"<!doctype html", "control-plane", "Fleet timeline",
+		"Command log", "cordon npu1", "requests",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML page missing %q", want)
+		}
+	}
+	if strings.Contains(html, "Assertions") {
+		t.Errorf("premactl page rendered an assertions section")
+	}
+	// Byte-identical across renders: the page is a pure function of the
+	// report.
+	again, err := p.Report().HTML()
+	if err != nil {
+		t.Fatalf("HTML again: %v", err)
+	}
+	if html != string(again) {
+		t.Errorf("HTML rendering is not deterministic")
+	}
+
+	// A scenario-sourced report renders its verdict.
+	page, err = FromScenario(runEquivScenario(t)).HTML()
+	if err != nil {
+		t.Fatalf("scenario HTML: %v", err)
+	}
+	if !strings.Contains(string(page), "badge") {
+		t.Errorf("scenario page missing the verdict badge")
+	}
+}
+
+func TestSnapshotBeforeTraffic(t *testing.T) {
+	p, err := New(newServer(t), Config{
+		Node: serving.NodeConfig{
+			NPUs: 1, Routing: cluster.LeastWork,
+			Session: serving.SessionConfig{Policy: "FCFS"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	s := p.Snapshot()
+	if s.StatsNote == "" {
+		t.Errorf("idle snapshot carries no stats note")
+	}
+	if s.TickWindow != 0 {
+		t.Errorf("idle snapshot claims %d tick samples", s.TickWindow)
+	}
+	out := s.Render()
+	if !strings.Contains(out, "no traffic yet") {
+		t.Errorf("idle snapshot render: %q", out)
+	}
+	r := p.Report()
+	if r.StatsNote == "" {
+		t.Errorf("idle report carries no stats note")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	p := newPlane(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/cmd?q=step+5ms"); code != http.StatusOK || !strings.Contains(body, "t=5.00ms") {
+		t.Errorf("/cmd step: %d %q", code, body)
+	}
+	if code, body := get("/snapshot"); code != http.StatusOK || !strings.Contains(body, `"fleet"`) {
+		t.Errorf("/snapshot: %d %q", code, body)
+	}
+	if code, body := get("/report"); code != http.StatusOK || !strings.Contains(body, `"source": "premactl"`) {
+		t.Errorf("/report: %d %q", code, body)
+	}
+	if code, body := get("/cmd?q=frobnicate"); code != http.StatusUnprocessableEntity || !strings.Contains(body, "unknown command") {
+		t.Errorf("/cmd bad: %d %q", code, body)
+	}
+	if code, _ := get("/cmd"); code != http.StatusBadRequest {
+		t.Errorf("/cmd without q: %d", code)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "premactl") {
+		t.Errorf("index: %d %q", code, body)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: %d", code)
+	}
+}
+
+// BenchmarkPlaneSnapshotUnderLoad measures a snapshot taken against a
+// fleet mid-stream — the interactive hot path bench.sh tracks.
+func BenchmarkPlaneSnapshotUnderLoad(b *testing.B) {
+	p := newPlane(b)
+	if _, err := p.Exec("step 40ms"); err != nil {
+		b.Fatalf("step: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := p.Snapshot()
+		if len(s.Fleet) == 0 {
+			b.Fatal("empty fleet")
+		}
+	}
+}

@@ -44,6 +44,7 @@ func TestGoldenFixtures(t *testing.T) {
 		{"registryonce", "testdata/src/registryonce"},
 		{"errdrop", "testdata/src/errdrop"},
 		{"statecopy", "testdata/src/statecopy"},
+		{"timerinsim", "testdata/src/timerinsim"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {
@@ -135,8 +136,8 @@ func TestAnalyzersHaveDocs(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) < 5 {
-		t.Errorf("expected at least 5 analyzers, have %d", len(seen))
+	if len(seen) < 6 {
+		t.Errorf("expected at least 6 analyzers, have %d", len(seen))
 	}
 }
 

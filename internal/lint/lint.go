@@ -62,6 +62,7 @@ func Analyzers() []*Analyzer {
 		registryOnceAnalyzer,
 		errDropAnalyzer,
 		stateCopyAnalyzer,
+		timerInSimAnalyzer,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all

@@ -1,0 +1,49 @@
+// Package timerfix seeds the timerinsim analyzer's golden cases: every
+// flavor of wall-clock timer the time package offers, the sanctioned
+// pure-conversion calls that must stay silent, and one justified
+// suppression (the control plane's pacing idiom).
+package timerfix
+
+import "time"
+
+// sleeper trips the rule with the simplest timer of all.
+func sleeper() {
+	time.Sleep(time.Millisecond) // want timerinsim: time.Sleep schedules against the wall clock
+}
+
+// ticker trips it with a recurring timer.
+func ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want timerinsim: time.NewTicker
+}
+
+// oneShot trips it with a one-shot timer.
+func oneShot() *time.Timer {
+	return time.NewTimer(time.Second) // want timerinsim: time.NewTimer
+}
+
+// channels trips it through the channel-returning forms.
+func channels() {
+	<-time.After(time.Millisecond)     // want timerinsim: time.After
+	for range time.Tick(time.Second) { // want timerinsim: time.Tick
+		return
+	}
+}
+
+// callback trips it through the callback form.
+func callback(f func()) *time.Timer {
+	return time.AfterFunc(time.Second, f) // want timerinsim: time.AfterFunc
+}
+
+// conversionsAreFine exercises the pure time surface the rule must not
+// flag: parsing, arithmetic and formatting never touch the scheduler.
+func conversionsAreFine() time.Duration {
+	d, _ := time.ParseDuration("3ms")
+	return d + 2*time.Millisecond
+}
+
+// pacedSleep documents the one sanctioned pattern: a sleep that only
+// decides when the next virtual step runs, never what it computes.
+func pacedSleep(d time.Duration) {
+	//premalint:ignore timerinsim fixture: pacing sleep schedules when the next virtual step runs, never what it computes
+	time.Sleep(d)
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// timerInSimScope is the determinism scope plus the control plane: the
+// ctl package simulates on the virtual stream clock like everything in
+// determinismScope, but additionally paces wall time, so it carries the
+// one sanctioned sleep (behind an ignore directive in drive.go). A
+// timer anywhere else in these packages would couple simulated outcomes
+// to wall-clock scheduling and break byte-identical replay.
+func timerInSimInScope(path string) bool {
+	if path == "repro/internal/ctl" || strings.HasPrefix(path, "repro/internal/ctl/") {
+		return true
+	}
+	return determinismInScope(path)
+}
+
+// timerFuncs is the time-package surface that schedules against the
+// wall clock. Pure conversions (ParseDuration, Duration arithmetic,
+// Unix construction) are fine — only actual timers and sleeps couple a
+// simulation to the scheduler.
+var timerFuncs = map[string]bool{
+	"Sleep": true, "NewTimer": true, "NewTicker": true,
+	"After": true, "Tick": true, "AfterFunc": true,
+}
+
+var timerInSimAnalyzer = &Analyzer{
+	Name: "timerinsim",
+	Doc: "no wall-clock timers (time.Sleep/NewTimer/NewTicker/After) in " +
+		"simulation packages; simulated time advances on the stream clock",
+	Run: runTimerInSim,
+}
+
+func runTimerInSim(p *Package) []Finding {
+	if !timerInSimInScope(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := p.pkgFunc(file, call)
+			if !ok || pkg != "time" || !timerFuncs[name] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      p.pos(call),
+				Analyzer: "timerinsim",
+				Message: fmt.Sprintf("time.%s schedules against the wall clock; a timer in a "+
+					"simulation package makes outcomes depend on real scheduling and breaks "+
+					"byte-identical replay — advance the stream clock (AdvanceTo / Submit) instead", name),
+			})
+			return true
+		})
+	}
+	return out
+}

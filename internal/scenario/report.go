@@ -33,9 +33,9 @@ type TimelineEntry struct {
 
 // Summary is the scenario's served statistics.
 type Summary struct {
-	// MeanLatencyMS, P50LatencyMS and P95LatencyMS are the node-wide
-	// steady-state latency statistics in milliseconds.
-	MeanLatencyMS, P50LatencyMS, P95LatencyMS float64
+	// MeanLatencyMS, P50LatencyMS, P95LatencyMS and P99LatencyMS are
+	// the node-wide steady-state latency statistics in milliseconds.
+	MeanLatencyMS, P50LatencyMS, P95LatencyMS, P99LatencyMS float64
 	// SLOLatencyMS and SLOViolationFrac report against the scaler's
 	// latency target; both are zero without a scaler.
 	SLOLatencyMS, SLOViolationFrac float64
@@ -92,8 +92,9 @@ func buildReport(run *runResult) *Report {
 		MeanLatencyMS: st.MeanLatencyMS,
 		P50LatencyMS:  st.P50LatencyMS,
 		P95LatencyMS:  st.P95LatencyMS,
-		MeanNPUs:      meanFleet(run.events, run.cycles(sc.Span())),
-		PeakNPUs:      peakFleet(run.events),
+		P99LatencyMS:  st.P99LatencyMS,
+		MeanNPUs:      MeanFleet(run.events, run.cycles(sc.Span())),
+		PeakNPUs:      PeakFleet(run.events),
 	}
 	if st.Scaling != nil {
 		r.Summary.SLOLatencyMS = st.Scaling.SLOLatencyMS
@@ -102,8 +103,10 @@ func buildReport(run *runResult) *Report {
 	return r
 }
 
-// meanFleet integrates the routable-fleet step function over [0, span].
-func meanFleet(events []serving.NodeEvent, span int64) float64 {
+// MeanFleet integrates the routable-fleet step function over [0, span].
+// It is exported for the control plane's run reports, which summarize
+// the identical NodeEvent timelines.
+func MeanFleet(events []serving.NodeEvent, span int64) float64 {
 	if len(events) == 0 || span <= 0 {
 		return 0
 	}
@@ -120,8 +123,8 @@ func meanFleet(events []serving.NodeEvent, span int64) float64 {
 	return area / float64(span)
 }
 
-// peakFleet is the largest routable count the timeline reached.
-func peakFleet(events []serving.NodeEvent) int {
+// PeakFleet is the largest routable count the timeline reached.
+func PeakFleet(events []serving.NodeEvent) int {
 	peak := 0
 	for _, e := range events {
 		if e.Active > peak {

@@ -187,7 +187,10 @@ func (ns *NodeSession) evaluate(at int64) error {
 		backlog += ns.state.Backlog(i, at)
 	}
 	if len(sc.estMS) > 0 {
-		sc.lastEstP95 = stats.Percentile(sc.estMS, 95)
+		// The window is cleared right below, so its order is free to
+		// give away: sorting in place spares the per-tick copy that
+		// dominated the autoscaled submit path's allocations.
+		sc.lastEstP95 = stats.PercentileInPlace(sc.estMS, 95)
 	} else {
 		sc.lastEstP95 *= 0.7
 	}
@@ -212,13 +215,9 @@ func (ns *NodeSession) evaluate(at int64) error {
 	serving := ns.state.Active() + occupied
 	applied := 0
 	for ; delta > 0 && ns.state.Active() < sc.cfg.MaxNPUs && serving < sc.cfg.MaxNPUs; delta-- {
-		b, err := ns.srv.Open(ns.session)
-		if err != nil {
+		if err := ns.addBackend(); err != nil {
 			return err
 		}
-		ns.backends = append(ns.backends, b)
-		ns.state.AddNPU()
-		ns.speed = append(ns.speed, 1)
 		serving++
 		applied++
 	}

@@ -101,8 +101,8 @@ type NodeOp struct {
 type NodeEvent struct {
 	// Cycle is the stream instant the event applied at.
 	Cycle int64
-	// Kind is "start", "scale", "fail", "slowdown", "restore",
-	// "cordon" or "uncordon".
+	// Kind is "start", "scale", "drain", "fail", "slowdown",
+	// "restore", "cordon" or "uncordon".
 	Kind string
 	// NPU is the target backend index; -1 for start and scale events.
 	NPU int
@@ -122,24 +122,38 @@ type nodeOp struct {
 }
 
 // Schedule queues op to fire when the stream clock reaches at.
-// Operations must be scheduled before any traffic is offered — the
-// reclaim ledger has to observe every routing decision from the first
-// request on — and fire deterministically as arrivals (or an explicit
-// AdvanceTo) advance the clock past their timestamp: in time order,
-// schedule order at equal times, and always before an autoscale tick
-// due at the same cycle, so the scaler sees the post-event fleet.
+// Operations may be scheduled at any point of the stream so long as
+// they are not in the past — the clock never rewinds — and fire
+// deterministically as arrivals (or an explicit AdvanceTo) advance the
+// clock past their timestamp: in time order, schedule order at equal
+// times, and always before an autoscale tick due at the same cycle, so
+// the scaler sees the post-event fleet. One exception: a FailNPU needs
+// the reclaim ledger to have observed every routing decision from the
+// first request on, so failures scheduled after traffic require the
+// ledger enabled at open (NodeConfig.TrackWork).
 func (ns *NodeSession) Schedule(at time.Duration, op NodeOp) error {
+	if at < 0 {
+		return fmt.Errorf("serving: negative operation time %v", at)
+	}
+	return ns.ScheduleCycle(ns.srv.cfg.Cycles(at), op)
+}
+
+// ScheduleCycle is Schedule on the cycle-granular stream clock — the
+// control plane's entry point, which tracks virtual time in cycles and
+// must not lose precision round-tripping through durations.
+func (ns *NodeSession) ScheduleCycle(at int64, op NodeOp) error {
 	if ns.closed {
 		return fmt.Errorf("serving: node session closed")
 	}
 	if ns.drained {
 		return fmt.Errorf("serving: node session drained")
 	}
-	if ns.submitted > 0 {
-		return fmt.Errorf("serving: chaos operations must be scheduled before any traffic is offered")
-	}
 	if at < 0 {
-		return fmt.Errorf("serving: negative operation time %v", at)
+		return fmt.Errorf("serving: negative operation cycle %d", at)
+	}
+	if at < ns.lastArrival {
+		return fmt.Errorf("serving: operation at cycle %d is in the past (stream clock at %d)",
+			at, ns.lastArrival)
 	}
 	if op.NPU < 0 {
 		return fmt.Errorf("serving: negative NPU index %d", op.NPU)
@@ -157,13 +171,15 @@ func (ns *NodeSession) Schedule(at time.Duration, op NodeOp) error {
 		return fmt.Errorf("serving: unknown operation kind %d", int(op.Kind))
 	}
 	if op.Kind == FailNPU {
-		// Failure reclaim needs the task behind every fluid horizon;
-		// scheduling precedes all traffic, so tracking starts clean.
+		// Failure reclaim needs the task behind every fluid horizon.
+		// Before any traffic this enables tracking from a clean slate;
+		// mid-stream it only succeeds if the ledger was already on
+		// (idempotent), surfacing a clear error otherwise.
 		if err := ns.state.TrackWork(); err != nil {
 			return err
 		}
 	}
-	ns.pending = append(ns.pending, nodeOp{at: ns.srv.cfg.Cycles(at), seq: ns.opSeq, op: op})
+	ns.pending = append(ns.pending, nodeOp{at: at, seq: ns.opSeq, op: op})
 	ns.opSeq++
 	// Keep the queue sorted by (cycle, schedule order); schedules are
 	// rare and the queue is short, so insertion sort is plenty.
@@ -184,16 +200,22 @@ func (ns *NodeSession) Schedule(at time.Duration, op NodeOp) error {
 // The clock never moves backward; subsequent submissions must arrive at
 // or after at.
 func (ns *NodeSession) AdvanceTo(at time.Duration) error {
+	return ns.AdvanceToCycle(ns.srv.cfg.Cycles(at))
+}
+
+// AdvanceToCycle is AdvanceTo on the cycle-granular stream clock — the
+// control plane's stepping primitive: it advances virtual time between
+// buffered arrivals without the duration round-trip losing cycles.
+func (ns *NodeSession) AdvanceToCycle(now int64) error {
 	if ns.closed {
 		return fmt.Errorf("serving: node session closed")
 	}
 	if ns.drained {
 		return fmt.Errorf("serving: node session drained")
 	}
-	now := ns.srv.cfg.Cycles(at)
 	if now < ns.lastArrival {
-		return fmt.Errorf("serving: cannot advance backward to %v (stream clock already at %d cycles)",
-			at, ns.lastArrival)
+		return fmt.Errorf("serving: cannot advance backward to cycle %d (stream clock already at %d)",
+			now, ns.lastArrival)
 	}
 	if err := ns.advanceTo(now); err != nil {
 		return err

@@ -56,13 +56,23 @@ func TestScheduleValidation(t *testing.T) {
 		}
 	}
 
-	// Operations must precede traffic.
+	// The clock never rewinds: an operation timestamped before the
+	// stream clock is refused, while scheduling ahead of a live stream
+	// is the control plane's bread and butter and must work.
 	if _, err := ns.Offer(Spec{Horizon: 20 * time.Millisecond, OfferedLoad: 1,
 		Models: rampModels, BatchSizes: []int{1}}, workload.RNGFor(3, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if err := ns.Schedule(time.Millisecond, NodeOp{Kind: CordonNPU, NPU: 0}); err == nil {
-		t.Error("schedule after traffic accepted")
+		t.Error("schedule in the past accepted")
+	}
+	if err := ns.Schedule(30*time.Millisecond, NodeOp{Kind: CordonNPU, NPU: 0}); err != nil {
+		t.Errorf("mid-stream future schedule refused: %v", err)
+	}
+	// A mid-stream failure without the work ledger enabled at open has
+	// nothing to reclaim from and must refuse cleanly.
+	if err := ns.Schedule(40*time.Millisecond, NodeOp{Kind: FailNPU, NPU: 1}); err == nil {
+		t.Error("mid-stream failure without TrackWork accepted")
 	}
 }
 

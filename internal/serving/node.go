@@ -46,6 +46,12 @@ type NodeConfig struct {
 	// shrinks the backend set as the stream advances; nil keeps the
 	// fleet fixed.
 	Autoscale *AutoscaleConfig
+	// TrackWork enables the router state's work ledger from the first
+	// request, so failures can be scheduled at any later point in the
+	// stream (the ledger must observe every routing decision to reclaim
+	// in-flight work). Long-lived sessions — the control plane — set it;
+	// batch runs that schedule all chaos up front don't need to.
+	TrackWork bool
 }
 
 // NodeStats aggregates a node session's stream: node-wide steady-state
@@ -98,6 +104,12 @@ type NodeSession struct {
 	stretchCache map[stretchKey]*npu.Program
 	stretchOrig  map[*workload.Task]*workload.Task
 
+	// estRing is a fixed ring of the most recent fluid latency
+	// estimates (ms) routed through the node — the control plane's
+	// tick-window percentile source; estCount is the total ever pushed.
+	estRing  []float64
+	estCount int
+
 	lastArrival int64
 	submitted   int
 	clientNext  int // round-robin cursor for closed-loop client affinity
@@ -141,13 +153,23 @@ func (s *Server) OpenNode(cfg NodeConfig) (*NodeSession, error) {
 		session:  cfg.Session,
 		scale:    scale,
 		speed:    make([]float64, cfg.NPUs),
+		estRing:  make([]float64, estWindow),
 	}
 	for i := range ns.speed {
 		ns.speed[i] = 1
 	}
+	if cfg.TrackWork {
+		if err := ns.state.TrackWork(); err != nil {
+			return nil, err
+		}
+	}
 	ns.record(0, "start", -1, 0, "")
 	return ns, nil
 }
+
+// estWindow is the estimate ring's size: enough recent samples for a
+// stable tick-window percentile without holding the whole stream.
+const estWindow = 256
 
 // NPUs reports the node size.
 func (ns *NodeSession) NPUs() int { return len(ns.backends) }
@@ -197,11 +219,14 @@ func (ns *NodeSession) route(t *workload.Task) error {
 		return err
 	}
 	ns.state.Commit(target, t)
+	// The request's fluid latency estimate (queueing plus service on its
+	// target): the scaler's per-tick latency signal, and the ring the
+	// control plane's snapshot percentiles read from.
+	est := ns.srv.cfg.Millis(ns.state.FreeAt(target) - t.Arrival)
+	ns.estRing[ns.estCount%estWindow] = est
+	ns.estCount++
 	if ns.scale != nil {
-		// The request's fluid latency estimate (queueing plus service on
-		// its target) is the scaler's per-tick latency signal.
-		ns.scale.estMS = append(ns.scale.estMS,
-			ns.srv.cfg.Millis(ns.state.FreeAt(target)-t.Arrival))
+		ns.scale.estMS = append(ns.scale.estMS, est)
 	}
 	return nil
 }
@@ -258,7 +283,7 @@ func (ns *NodeSession) OfferRamp(base Spec, loads []float64, rng *rand.Rand) (in
 		seg.Offset = base.Offset + time.Duration(i)*base.Horizon
 		n, err := ns.Offer(seg, rng)
 		if err != nil {
-			if errors.Is(err, errNoArrivals) {
+			if errors.Is(err, ErrNoArrivals) {
 				continue
 			}
 			return total, fmt.Errorf("serving: ramp segment %d (load %v): %w", i, load, err)
@@ -323,6 +348,147 @@ func (ns *NodeSession) OfferClients(spec ClientSpec, rng *rand.Rand) (int, error
 
 // Pending reports how many requests have been submitted node-wide.
 func (ns *NodeSession) Pending() int { return ns.submitted }
+
+// Clock reports the stream clock in cycles: the latest arrival routed
+// or instant explicitly advanced to.
+func (ns *NodeSession) Clock() int64 { return ns.lastArrival }
+
+// EstimateWindow appends the node's most recent fluid latency estimates
+// (ms, oldest first, at most the ring size) to dst and returns it — the
+// control plane's snapshot percentile source. Unlike Stats it touches
+// no backend and re-simulates nothing.
+func (ns *NodeSession) EstimateWindow(dst []float64) []float64 {
+	n := ns.estCount
+	if n > estWindow {
+		n = estWindow
+	}
+	start := ns.estCount - n
+	for k := 0; k < n; k++ {
+		dst = append(dst, ns.estRing[(start+k)%estWindow])
+	}
+	return dst
+}
+
+// BackendView is one NPU's entry in a point-in-time fleet listing.
+type BackendView struct {
+	// NPU is the backend index in spin-up order.
+	NPU int
+	// State is "active", "draining", "cordoned" or "failed".
+	State string
+	// Speed is the service-time multiplier (1 = nominal).
+	Speed float64
+	// InFlight counts routed requests whose fluid horizon has not
+	// drained at the stream clock.
+	InFlight int
+	// BacklogMS is the fluid backlog ahead of a new arrival, in ms.
+	BacklogMS float64
+	// Routed is how many requests the backend has ever been handed.
+	Routed int
+}
+
+// Fleet lists every backend's state at the current stream clock —
+// the control plane's `list` view. It reads only the fluid router
+// state, so it is cheap enough to poll between ticks.
+func (ns *NodeSession) Fleet() []BackendView {
+	now := ns.lastArrival
+	out := make([]BackendView, len(ns.backends))
+	for i, b := range ns.backends {
+		v := BackendView{NPU: i, State: "active", Speed: ns.speed[i], Routed: len(b.reqs)}
+		switch {
+		case ns.state.Failed(i):
+			v.State = "failed"
+		case ns.state.Cordoned(i):
+			v.State = "cordoned"
+		case ns.state.Draining(i):
+			v.State = "draining"
+		}
+		if !ns.state.Failed(i) {
+			v.InFlight = ns.state.InFlight(i, now)
+			v.BacklogMS = ns.srv.cfg.Millis(ns.state.Backlog(i, now))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// addBackend spins one fresh Session backend into the shared router
+// state at nominal speed — the shared mechanics of autoscaler scale-up
+// and operator `scale`.
+func (ns *NodeSession) addBackend() error {
+	b, err := ns.srv.Open(ns.session)
+	if err != nil {
+		return err
+	}
+	ns.backends = append(ns.backends, b)
+	ns.state.AddNPU()
+	ns.speed = append(ns.speed, 1)
+	return nil
+}
+
+// ScaleTo sets the active fleet to n by opening fresh backends or
+// retiring drain victims — the operator's `scale` command. With a
+// scaler attached, n must lie inside its [MinNPUs, MaxNPUs] bounds (the
+// scaler keeps adjusting from the new size on later ticks). The change
+// applies at the current stream clock and is recorded on the timeline.
+func (ns *NodeSession) ScaleTo(n int) error {
+	if ns.closed {
+		return fmt.Errorf("serving: node session closed")
+	}
+	if ns.drained {
+		return fmt.Errorf("serving: node session drained")
+	}
+	if n < 1 {
+		return fmt.Errorf("serving: non-positive fleet size %d", n)
+	}
+	if ns.scale != nil {
+		if min, max := ns.scale.cfg.MinNPUs, ns.scale.cfg.MaxNPUs; n < min || n > max {
+			return fmt.Errorf("serving: fleet size %d outside autoscale bounds [%d, %d]", n, min, max)
+		}
+	}
+	at := ns.lastArrival
+	applied := 0
+	for ns.state.Active() < n {
+		if err := ns.addBackend(); err != nil {
+			return err
+		}
+		applied++
+	}
+	for ns.state.Active() > n {
+		victim := ns.drainVictim(at)
+		if victim < 0 {
+			return fmt.Errorf("serving: no routable backend left to retire")
+		}
+		if err := ns.state.Retire(victim); err != nil {
+			return err
+		}
+		applied--
+	}
+	if applied != 0 {
+		ns.record(at, "scale", -1, applied, "manual")
+	}
+	return nil
+}
+
+// RetireBackend voluntarily drains one specific backend — the
+// operator's `drain npu<i>` command, as opposed to the autoscaler's
+// victim choice. Routed work completes, nothing new lands on it, and
+// the timeline records a "drain" event at the current stream clock.
+func (ns *NodeSession) RetireBackend(i int) error {
+	if ns.closed {
+		return fmt.Errorf("serving: node session closed")
+	}
+	if ns.drained {
+		return fmt.Errorf("serving: node session drained")
+	}
+	if i < 0 || i >= len(ns.backends) {
+		return fmt.Errorf("serving: unknown NPU %d (node size %d)", i, len(ns.backends))
+	}
+	if err := ns.state.Retire(i); err != nil {
+		return err
+	}
+	ns.record(ns.lastArrival, "drain", i, -1, "")
+	return nil
+}
 
 // Routed reports how many requests each NPU's backend holds.
 func (ns *NodeSession) Routed() []int {

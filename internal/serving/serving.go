@@ -147,15 +147,16 @@ func (s *Server) Generate(spec Spec, rng *rand.Rand) ([]*workload.Task, error) {
 	}
 	if len(tasks) == 0 {
 		return nil, fmt.Errorf("serving: horizon %v too short for load %v: %w",
-			spec.Horizon, spec.OfferedLoad, errNoArrivals)
+			spec.Horizon, spec.OfferedLoad, ErrNoArrivals)
 	}
 	return tasks, nil
 }
 
-// errNoArrivals marks a generated window that produced no requests; a
-// ramp tolerates such a segment (a trough can legitimately be empty)
-// while single-spec entry points keep reporting it as an error.
-var errNoArrivals = errors.New("no arrivals")
+// ErrNoArrivals marks a generated window that produced no requests; a
+// ramp (and the control plane's segment generator) tolerates such a
+// segment (a trough can legitimately be empty) while single-spec entry
+// points keep reporting it as an error.
+var ErrNoArrivals = errors.New("no arrivals")
 
 func defaultSuite() []string {
 	return []string{"CNN-AN", "CNN-GN", "CNN-VN", "CNN-MN",

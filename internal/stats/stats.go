@@ -91,25 +91,35 @@ func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
+	return PercentileInPlace(append([]float64(nil), xs...), p)
+}
+
+// PercentileInPlace is Percentile without the defensive copy: it sorts
+// xs itself. For callers that recycle a scratch buffer whose order does
+// not matter (the autoscaler's per-tick latency window, cleared right
+// after the read), this turns a per-call allocation into none.
+func PercentileInPlace(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
 	if p < 0 {
 		p = 0
 	}
 	if p > 100 {
 		p = 100
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0]
+	sort.Float64s(xs)
+	if len(xs) == 1 {
+		return xs[0]
 	}
-	rank := p / 100 * float64(len(sorted)-1)
+	rank := p / 100 * float64(len(xs)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return sorted[lo]
+		return xs[lo]
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
 // Summary captures the five-number summary of a sample plus mean and count.

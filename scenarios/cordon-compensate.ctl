@@ -1,0 +1,21 @@
+# cordon-compensate.ctl — premactl command script (not a scenario file:
+# the .ctl extension keeps it out of the premasim corpus loop).
+#
+# Replay with:
+#
+#   premactl -script scenarios/cordon-compensate.ctl -timescale 0 \
+#            -seed 7 -segment 25ms -min-npus 2 -max-npus 4 -load 2 \
+#            -name cordon-compensate -report-json run.json
+#
+# Traffic ramps, npu1 is cordoned out of rotation mid-ramp, the
+# queue-depth scaler compensates with a fresh backend, the cordon
+# lifts, and the session seals into an exportable run report. The
+# transcript and the report are byte-identical on every replay — ci.sh
+# runs this script twice and diffs both artifacts.
+@10ms  snapshot
+@25ms  load 3
+@30ms  cordon npu1
+@45ms  snapshot
+@60ms  uncordon npu1
+@80ms  report
+@100ms quit

@@ -35,7 +35,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
 	# benchmarks (sub-benchmark names like pruned-8000 keep theirs) so
 	# the derived overhead row finds them on any machine.
 	norm = name
-	if (norm ~ /^BenchmarkNodeSessionSubmit(Autoscale)?(-[0-9]+)?$/)
+	if (norm ~ /^BenchmarkNodeSessionSubmit(Autoscale|Hetero)?(-[0-9]+)?$/)
 		sub(/-[0-9]+$/, "", norm)
 	metrics = ""
 	for (i = 3; i + 1 <= NF; i += 2) {

@@ -62,7 +62,9 @@ go run ./cmd/premasim -npus 2 -routing least-queued -policy PREMA -preemptive -c
 go run ./cmd/premasim -autoscale queue-depth -slo 8ms -min-npus 1 -max-npus 4 -policy FCFS -serve-horizon 150ms >/dev/null
 # Scenario smoke: the corpus doubles as a regression suite — every file
 # must parse, run and pass its assertions (non-zero exit otherwise).
-for scn in scenarios/*.txt; do
+# .txt is the homogeneous corpus, .scn the heterogeneous-fleet stress
+# scenarios.
+for scn in scenarios/*.txt scenarios/*.scn; do
 	go run ./cmd/premasim -scenario "$scn" >/dev/null
 done
 go run ./cmd/premasim -scenario scenarios/baseline.txt \

@@ -1,0 +1,41 @@
+package main
+
+// main_test.go pins the premabench experiment catalogue: the checked-in
+// experiments.golden must equal exp.IDs() exactly, in sorted order.
+// premalint's expgolden analyzer enforces the same contract statically
+// from the register sites; this test closes the loop at runtime, so a
+// drifting golden list fails both ways.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestExperimentsGoldenMatchesRegistry(t *testing.T) {
+	data, err := os.ReadFile("experiments.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		golden = append(golden, line)
+	}
+	ids := exp.IDs()
+	if len(golden) != len(ids) {
+		t.Fatalf("experiments.golden lists %d experiments, registry has %d:\n golden  %v\n registry %v",
+			len(golden), len(ids), golden, ids)
+	}
+	for i := range ids {
+		if golden[i] != ids[i] {
+			t.Errorf("experiments.golden[%d] = %q, registry has %q (list must be sorted and complete)",
+				i, golden[i], ids[i])
+		}
+	}
+}

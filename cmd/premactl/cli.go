@@ -24,6 +24,7 @@ type cli struct {
 	slo        time.Duration
 	minNPUs    int
 	maxNPUs    int
+	fleet      string
 	models     string
 	seed       int
 	segment    time.Duration
@@ -58,6 +59,8 @@ func parseCLI(args []string) (*cli, error) {
 	fs.DurationVar(&c.slo, "slo", 8*time.Millisecond, "P95 latency SLO the autoscaler targets")
 	fs.IntVar(&c.minNPUs, "min-npus", 1, "autoscaling fleet minimum")
 	fs.IntVar(&c.maxNPUs, "max-npus", 8, "autoscaling fleet maximum")
+	fs.StringVar(&c.fleet, "fleet", "",
+		"weighted hardware-tier template, e.g. 70%:fast,30%:slow ('' keeps the fleet homogeneous)")
 	fs.StringVar(&c.models, "models", "CNN-AN,CNN-GN,CNN-MN,RNN-SA",
 		"comma-separated request mix ('' serves the full evaluation suite)")
 	fs.IntVar(&c.seed, "seed", 0, "arrival seed (0 = the fixed default shared with scenarios)")
@@ -131,6 +134,7 @@ func (c *cli) planeConfig() (prema.ControlPlaneConfig, error) {
 		TimeScale: c.timescale,
 		Load:      c.load,
 		Name:      c.name,
+		Fleet:     c.fleet,
 	}
 	if c.models != "" {
 		for _, m := range strings.Split(c.models, ",") {

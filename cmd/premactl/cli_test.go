@@ -18,6 +18,7 @@ func TestParseCLIMatrix(t *testing.T) {
 		{name: "defaults", args: nil},
 		{name: "scripted ci run", args: []string{"-script", "s.ctl", "-timescale", "0"}},
 		{name: "fixed fleet", args: []string{"-autoscale", "", "-npus", "3"}},
+		{name: "tiered fleet", args: []string{"-fleet", "70%:fast,30%:slow", "-npus", "10"}},
 		{name: "full surface", args: []string{
 			"-npus", "2", "-routing", "round-robin", "-policy", "FCFS", "-preemptive=false",
 			"-autoscale", "queue-depth", "-slo", "6ms", "-min-npus", "2", "-max-npus", "6",
@@ -79,6 +80,18 @@ func TestPlaneConfig(t *testing.T) {
 	}
 	if cfg.Segment != 25*time.Millisecond {
 		t.Errorf("segment = %v", cfg.Segment)
+	}
+
+	c, err = parseCLI([]string{"-fleet", "70%:fast,30%:slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = c.planeConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fleet != "70%:fast,30%:slow" {
+		t.Errorf("fleet = %q", cfg.Fleet)
 	}
 
 	c, err = parseCLI([]string{"-autoscale", "", "-models", ""})

@@ -37,6 +37,7 @@ type cli struct {
 	slo          time.Duration
 	minNPUs      int
 	maxNPUs      int
+	fleet        string
 	scenario     string
 	reportJSON   string
 	reportHTML   string
@@ -81,6 +82,8 @@ func parseCLI(args []string) (*cli, error) {
 		"P95 latency SLO the autoscaler targets")
 	fs.IntVar(&c.minNPUs, "min-npus", 1, "autoscaling fleet minimum")
 	fs.IntVar(&c.maxNPUs, "max-npus", 4, "autoscaling fleet maximum")
+	fs.StringVar(&c.fleet, "fleet", "",
+		"weighted hardware-tier template for streaming runs, e.g. 70%:fast,30%:slow (builtin tiers fast|slow, custom name@factor)")
 	fs.StringVar(&c.scenario, "scenario", "",
 		"declarative chaos scenario file to execute (see scenarios/); conflicts with every other flag")
 	fs.StringVar(&c.reportJSON, "report-json", "",
@@ -149,6 +152,9 @@ func (c *cli) validate() error {
 	}
 	if c.autoscale != "" && c.set["think"] {
 		return fmt.Errorf("-think only applies to closed-loop runs (-clients)")
+	}
+	if c.fleet != "" && c.autoscale == "" {
+		return fmt.Errorf("-fleet declares hardware tiers for the elastic node session: combine it with -autoscale (closed-loop clients bypass the router)")
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ func TestParseCLIMatrix(t *testing.T) {
 		{name: "multi-npu", args: []string{"-npus", "3", "-routing", "round-robin"}},
 		{name: "closed loop", args: []string{"-clients", "8", "-think", "1ms"}},
 		{name: "autoscale", args: []string{"-autoscale", "queue-depth", "-slo", "8ms", "-min-npus", "1", "-max-npus", "6"}},
+		{name: "autoscale tiered fleet", args: []string{"-autoscale", "queue-depth", "-fleet", "70%:fast,30%:slow"}},
 		{name: "scenario alone", args: []string{"-scenario", "scenarios/single-failure.txt"}},
 		{name: "scenario with report exports",
 			args: []string{"-scenario", "x.txt", "-report-json", "out.json", "-report-html", "out.html"}},
@@ -61,6 +62,12 @@ func TestParseCLIMatrix(t *testing.T) {
 			wantErr: "needs a positive -serve-horizon"},
 		{name: "autoscale with zero horizon", args: []string{"-autoscale", "queue-depth", "-serve-horizon", "0"},
 			wantErr: "needs a positive -serve-horizon"},
+		{name: "fleet without autoscale", args: []string{"-fleet", "70%:fast,30%:slow"},
+			wantErr: "combine it with -autoscale"},
+		{name: "fleet with clients", args: []string{"-clients", "4", "-fleet", "70%:fast,30%:slow"},
+			wantErr: "combine it with -autoscale"},
+		{name: "fleet with scenario", args: []string{"-scenario", "x.txt", "-fleet", "70%:fast,30%:slow"},
+			wantErr: "-fleet conflicts with -scenario"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -76,7 +76,7 @@ func main() {
 			// are unattainable for the heavy translation/ASR RNNs at any
 			// fleet size.
 			Models:  []string{"CNN-AN", "CNN-GN", "CNN-MN", "RNN-SA"},
-			Horizon: c.serveHorizon, Seed: uint64(c.seed),
+			Horizon: c.serveHorizon, Seed: uint64(c.seed), Fleet: c.fleet,
 			Autoscale: &prema.AutoscaleConfig{
 				Scaler: c.autoscale, SLO: c.slo,
 				MinNPUs: c.minNPUs, MaxNPUs: c.maxNPUs,

@@ -76,6 +76,10 @@ type ControlPlaneConfig struct {
 	Load float64
 	// Name labels the run's report (default "control-plane").
 	Name string
+	// Fleet is an optional weighted hardware-tier template
+	// ("70%:fast,30%:slow", see NodeSessionConfig.Fleet); empty keeps
+	// the fleet homogeneous.
+	Fleet string
 }
 
 // OpenControlPlane validates the configuration and opens a live control
@@ -100,10 +104,17 @@ func (s *System) OpenControlPlane(cfg ControlPlaneConfig) (*ControlPlane, error)
 		}
 		scale = cfg.Autoscale.toServing()
 	}
+	var tiers []serving.Tier
+	if cfg.Fleet != "" {
+		if tiers, err = serving.FleetFromTemplate(s.opt.NPU, cfg.Fleet); err != nil {
+			return nil, err
+		}
+	}
 	srv := serving.NewServer(s.opt.NPU, s.opt.Sched, s.gen)
 	return ctl.New(srv, ctl.Config{
 		Node: serving.NodeConfig{
 			NPUs:      cfg.NPUs,
+			Fleet:     tiers,
 			Routing:   routing,
 			Autoscale: scale,
 			Session: serving.SessionConfig{

@@ -51,6 +51,11 @@ type Metrics struct {
 	// SLOLatencyMS is the P95 latency target the fleet is scaled
 	// against.
 	SLOLatencyMS float64
+	// TierActive counts the routable backends per hardware tier, in
+	// tier order; nil on homogeneous fleets. The backing array is
+	// reused between ticks, so a policy must not retain the slice
+	// across Decide calls.
+	TierActive []int
 }
 
 // Delta is a policy's decision: the signed change in active backend
@@ -68,6 +73,24 @@ type Policy interface {
 	// Decide inspects one load snapshot and returns the wanted fleet
 	// change.
 	Decide(m Metrics) Delta
+}
+
+// PickTier chooses which hardware tier a scale-up should add, given
+// the template weights and the current routable backend count per tier:
+// the highest-averages (D'Hondt) rule picks the tier maximizing
+// weights[t]/(counts[t]+1), so the live fleet tracks the weighted
+// template as it grows — even after failures have knocked a tier below
+// its share. Ties go to the earliest tier. Both slices must have the
+// same nonzero length; the comparison cross-multiplies, so it is exact
+// in integers.
+func PickTier(weights, counts []int) int {
+	best := 0
+	for t := 1; t < len(weights); t++ {
+		if weights[t]*(counts[best]+1) > weights[best]*(counts[t]+1) {
+			best = t
+		}
+	}
+	return best
 }
 
 // Config parameterizes built-in policy construction.

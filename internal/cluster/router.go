@@ -85,6 +85,15 @@ type State struct {
 	// index), so Fail can reclaim the requests whose fluid work had not
 	// drained at the failure instant.
 	work [][]*workload.Task
+	// speeds is the per-NPU service-time multiplier relative to the
+	// node's base config (1 = base, 2 = half-clock). nil means a
+	// homogeneous fleet of all-1 speeds; it is materialized lazily by
+	// AddNPUWithSpeed so homogeneous nodes pay nothing.
+	speeds []float64
+	// qidx and widx are the lazily built decision indexes (index.go);
+	// nil until a LeastQueued / LeastWork router's first Decide.
+	qidx *queuedIndex
+	widx *workIndex
 }
 
 // NewState returns the fluid state of an idle node with the given NPU
@@ -149,7 +158,17 @@ func (s *State) TrackWork() error {
 // AddNPU appends a fresh idle backend to the node mid-stream (the
 // autoscaler's scale-up path) and returns its index. The new backend
 // carries no state from any previously failed or retired slot.
-func (s *State) AddNPU() int {
+func (s *State) AddNPU() int { return s.AddNPUWithSpeed(1) }
+
+// AddNPUWithSpeed appends a fresh idle backend with the given
+// service-time multiplier relative to the node's base config (1 = base
+// speed, 2 = takes twice as long). Speed-aware routers normalize
+// completion-time estimates by it; everything else about the slot is
+// identical to AddNPU.
+func (s *State) AddNPUWithSpeed(speed float64) int {
+	if speed <= 0 {
+		speed = 1
+	}
 	s.freeAt = append(s.freeAt, 0)
 	s.horizons = append(s.horizons, nil)
 	s.heads = append(s.heads, 0)
@@ -159,8 +178,31 @@ func (s *State) AddNPU() int {
 	if s.track {
 		s.work = append(s.work, nil)
 	}
+	if s.speeds != nil {
+		s.speeds = append(s.speeds, speed)
+	} else if speed != 1 {
+		// First non-base backend: materialize the implicit all-1 fleet.
+		s.speeds = make([]float64, len(s.freeAt))
+		for i := range s.speeds {
+			s.speeds[i] = 1
+		}
+		s.speeds[len(s.speeds)-1] = speed
+	}
 	s.active++
-	return len(s.freeAt) - 1
+	i := len(s.freeAt) - 1
+	s.indexAdd(i, s.speedOf(i))
+	return i
+}
+
+// Speed reports backend i's service-time multiplier relative to the
+// node's base config (1 for homogeneous fleets).
+func (s *State) Speed(i int) float64 { return s.speedOf(i) }
+
+func (s *State) speedOf(i int) float64 {
+	if s.speeds == nil {
+		return 1
+	}
+	return s.speeds[i]
 }
 
 // Retire marks backend i draining (the autoscaler's voluntary
@@ -185,6 +227,7 @@ func (s *State) Retire(i int) error {
 	}
 	s.draining[i] = true
 	s.active--
+	s.indexDrop(i)
 	return nil
 }
 
@@ -210,19 +253,26 @@ func (s *State) Cordon(i int) error {
 	}
 	s.cordoned[i] = true
 	s.active--
+	s.indexDrop(i)
 	return nil
 }
 
-// Uncordon returns a cordoned backend to rotation.
+// Uncordon returns a cordoned backend to rotation. A backend that
+// failed while cordoned stays lost: nothing of a failed slot ever
+// serves again.
 func (s *State) Uncordon(i int) error {
 	if i < 0 || i >= len(s.freeAt) {
 		return fmt.Errorf("cluster: uncordon of unknown NPU %d (node size %d)", i, len(s.freeAt))
+	}
+	if s.failed[i] {
+		return fmt.Errorf("cluster: NPU %d has failed", i)
 	}
 	if !s.cordoned[i] {
 		return fmt.Errorf("cluster: NPU %d is not cordoned", i)
 	}
 	s.cordoned[i] = false
 	s.active++
+	s.indexUncordon(i)
 	return nil
 }
 
@@ -261,6 +311,7 @@ func (s *State) Fail(i int, now int64) ([]*workload.Task, error) {
 	}
 	s.failed[i] = true
 	s.horizons[i], s.work[i], s.heads[i], s.freeAt[i] = nil, nil, 0, 0
+	s.indexFail(i)
 	return reclaimed, nil
 }
 
@@ -319,6 +370,7 @@ func (s *State) Commit(target int, t *workload.Task) {
 	if s.track {
 		s.work[target] = append(s.work[target], t)
 	}
+	s.indexCommit(target)
 }
 
 // roundRobinRouter cycles through the routable NPUs in dispatch order.
@@ -341,36 +393,24 @@ func (r *roundRobinRouter) Decide(_ *workload.Task, st *State) int {
 
 // leastQueuedRouter routes to the routable NPU with the fewest requests
 // whose (estimated) work has not yet drained at the arrival instant.
-// Ties go to the lowest NPU index.
+// Ties go to the lowest NPU index. The decision comes from the state's
+// queued index (index.go) in O(log n); router_test.go retains the
+// historic linear scan as a reference and proves the decisions
+// identical, including across chaos events and autoscale churn.
 type leastQueuedRouter struct{}
 
 func (leastQueuedRouter) Decide(t *workload.Task, st *State) int {
-	best, bestN := 0, int(1<<30)
-	for i := 0; i < st.NPUs(); i++ {
-		if !st.Routable(i) {
-			continue
-		}
-		if n := st.InFlight(i, t.Arrival); n < bestN {
-			best, bestN = i, n
-		}
-	}
-	return best
+	return st.leastQueuedTarget(t.Arrival)
 }
 
-// leastWorkRouter routes to the routable NPU with the least estimated
-// backlog in cycles — the predictive router built on Algorithm 1's
-// estimates. Ties go to the lowest NPU index.
+// leastWorkRouter routes to the routable NPU that would finish the
+// request first by Algorithm 1's estimates: least backlog on a
+// homogeneous fleet, least normalized completion time (backlog +
+// estimate x speed) on a heterogeneous one. Ties go to the lowest NPU
+// index. The decision comes from the state's work index (index.go) in
+// O(log n); router_test.go retains the linear scan as a reference.
 type leastWorkRouter struct{}
 
 func (leastWorkRouter) Decide(t *workload.Task, st *State) int {
-	best, bestWork := 0, int64(1<<62)
-	for i := 0; i < st.NPUs(); i++ {
-		if !st.Routable(i) {
-			continue
-		}
-		if w := st.Backlog(i, t.Arrival); w < bestWork {
-			best, bestWork = i, w
-		}
-	}
-	return best
+	return st.leastWorkTarget(t.Arrival, t.EstimatedCycles)
 }

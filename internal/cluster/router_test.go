@@ -164,31 +164,49 @@ func BenchmarkRouteLeastQueued(b *testing.B) {
 }
 
 // BenchmarkRouterDecide measures one incremental routing decision
-// (Decide + Commit) per op, the unit cost every streamed request pays;
-// bench.sh tracks it into BENCH_serving.json.
+// (Decide + Commit) per op, the unit cost every streamed request pays,
+// across production fleet sizes; bench.sh tracks it into
+// BENCH_serving.json. The offered load scales with the fleet
+// (loadedStream), so every size is measured under pressure. The
+// least-work-tiered variant runs the speed-aware multi-class decision
+// on a 70/30 fast/slow fleet. BenchmarkRouterDecideScan (index_test.go)
+// is the retained O(n) reference at the same sizes.
 func BenchmarkRouterDecide(b *testing.B) {
-	stream := syntheticStream(8192, 3)
-	for _, policy := range []RoutingPolicy{RoundRobin, LeastQueued, LeastWork} {
-		b.Run(policy.String(), func(b *testing.B) {
-			router, err := NewRouter(policy)
-			if err != nil {
-				b.Fatal(err)
-			}
-			st := NewState(4)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				k := i % len(stream)
-				if k == 0 && i > 0 {
-					// Wrapping the stream would rewind the arrival clock;
-					// restart the fluid state instead (cost amortizes out).
-					if router, err = NewRouter(policy); err != nil {
-						b.Fatal(err)
-					}
-					st = NewState(4)
+	for _, npus := range []int{100, 1000, 10000} {
+		stream := loadedStream(16384, 0xD0, npus)
+		for _, tc := range []struct {
+			name   string
+			policy RoutingPolicy
+			tiered bool
+		}{
+			{"round-robin", RoundRobin, false},
+			{"least-queued", LeastQueued, false},
+			{"least-work", LeastWork, false},
+			{"least-work-tiered", LeastWork, true},
+		} {
+			b.Run(fmt.Sprintf("%s/npus=%d", tc.name, npus), func(b *testing.B) {
+				router, err := NewRouter(tc.policy)
+				if err != nil {
+					b.Fatal(err)
 				}
-				t := stream[k]
-				st.Commit(router.Decide(t, st), t)
-			}
-		})
+				st := benchFleetState(npus, tc.tiered)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k := i % len(stream)
+					if k == 0 && i > 0 {
+						// Wrapping the stream would rewind the arrival
+						// clock; restart the fluid state off the timer.
+						b.StopTimer()
+						if router, err = NewRouter(tc.policy); err != nil {
+							b.Fatal(err)
+						}
+						st = benchFleetState(npus, tc.tiered)
+						b.StartTimer()
+					}
+					t := stream[k]
+					st.Commit(router.Decide(t, st), t)
+				}
+			})
+		}
 	}
 }

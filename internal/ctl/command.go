@@ -217,13 +217,26 @@ func npuArg(s string) (int, error) {
 // renderFleet is the `list` view.
 func (p *Plane) renderFleet() string {
 	fleet := p.ns.Fleet()
+	// The TIER column only appears on heterogeneous fleets, so
+	// homogeneous transcripts stay byte-identical to earlier releases.
+	tiered := len(fleet) > 0 && fleet[0].Tier != ""
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s %-9s %-6s %-9s %-11s %s\n",
-		"NPU", "STATE", "SPEED", "IN-FLIGHT", "BACKLOG(ms)", "ROUTED")
+	if tiered {
+		fmt.Fprintf(&b, "%-6s %-8s %-9s %-6s %-9s %-11s %s\n",
+			"NPU", "TIER", "STATE", "SPEED", "IN-FLIGHT", "BACKLOG(ms)", "ROUTED")
+	} else {
+		fmt.Fprintf(&b, "%-6s %-9s %-6s %-9s %-11s %s\n",
+			"NPU", "STATE", "SPEED", "IN-FLIGHT", "BACKLOG(ms)", "ROUTED")
+	}
 	active := 0
 	for _, v := range fleet {
 		if v.State == "active" {
 			active++
+		}
+		if tiered {
+			fmt.Fprintf(&b, "npu%-3d %-8s %-9s x%-5g %-9d %-11.2f %d\n",
+				v.NPU, v.Tier, v.State, v.Speed, v.InFlight, v.BacklogMS, v.Routed)
+			continue
 		}
 		fmt.Fprintf(&b, "npu%-3d %-9s x%-5g %-9d %-11.2f %d\n",
 			v.NPU, v.State, v.Speed, v.InFlight, v.BacklogMS, v.Routed)
@@ -241,6 +254,9 @@ func (p *Plane) renderBackend(i int) (string, error) {
 	v := fleet[i]
 	var b strings.Builder
 	fmt.Fprintf(&b, "npu%d: %s\n", v.NPU, v.State)
+	if v.Tier != "" {
+		fmt.Fprintf(&b, "  tier       %s\n", v.Tier)
+	}
 	fmt.Fprintf(&b, "  speed      x%g\n", v.Speed)
 	fmt.Fprintf(&b, "  in-flight  %d\n", v.InFlight)
 	fmt.Fprintf(&b, "  backlog    %.2fms\n", v.BacklogMS)

@@ -19,6 +19,7 @@ import (
 // NPUSnapshot is one backend's row in a snapshot.
 type NPUSnapshot struct {
 	NPU       int     `json:"npu"`
+	Tier      string  `json:"tier,omitempty"` // hardware tier; empty on homogeneous fleets
 	State     string  `json:"state"`
 	Speed     float64 `json:"speed"`
 	InFlight  int     `json:"in_flight"`
@@ -80,7 +81,7 @@ func (p *Plane) snapshotLocked(at int64) Snapshot {
 			s.Active++
 		}
 		s.Fleet = append(s.Fleet, NPUSnapshot{
-			NPU: v.NPU, State: v.State, Speed: v.Speed,
+			NPU: v.NPU, Tier: v.Tier, State: v.State, Speed: v.Speed,
 			InFlight: v.InFlight, BacklogMS: v.BacklogMS, Routed: v.Routed,
 		})
 	}

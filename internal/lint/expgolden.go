@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// expGoldenAnalyzer keeps the experiment registry and the premabench
+// golden list in lockstep: every experiment ID registered through
+// register(Experiment{ID: ...}) must appear in the golden list
+// (cmd/premabench/experiments.golden), and every golden entry must
+// still be registered. The golden list is the reviewable catalogue of
+// what `premabench` regenerates — an experiment added without listing
+// it (or removed while still listed) is invisible to the one place the
+// full evaluation surface is spelled out.
+//
+// The analyzer activates only on packages that contain the
+// register(Experiment{...}) idiom. The golden list is the package
+// directory's own experiments.golden when one exists (fixtures and the
+// seeded-violation tripwire), otherwise — for the real
+// repro/internal/exp registry — the module's
+// cmd/premabench/experiments.golden. A registry package with neither
+// is out of scope and reports nothing.
+var expGoldenAnalyzer = &Analyzer{
+	Name: "expgolden",
+	Doc:  "registered experiment IDs must match the premabench golden list",
+	Run:  runExpGolden,
+}
+
+// expGoldenFile is the golden list's file name, one experiment ID per
+// line ('#' comments and blank lines ignored).
+const expGoldenFile = "experiments.golden"
+
+func runExpGolden(p *Package) []Finding {
+	regs := registeredExperiments(p)
+	if len(regs) == 0 {
+		return nil
+	}
+	goldenPath, ok := expGoldenPath(p)
+	if !ok {
+		return nil
+	}
+	golden, err := readExpGolden(goldenPath)
+	if err != nil {
+		return []Finding{{
+			Pos:      p.pos(p.Files[0].Name),
+			Analyzer: "expgolden",
+			Message:  fmt.Sprintf("experiment registry has no readable golden list: %v", err),
+		}}
+	}
+	var out []Finding
+	seen := make(map[string]bool, len(regs))
+	for _, r := range regs {
+		seen[r.id] = true
+		if !golden[r.id] {
+			out = append(out, Finding{
+				Pos:      r.pos,
+				Analyzer: "expgolden",
+				Message: fmt.Sprintf("experiment %q is not in the premabench golden list (%s); "+
+					"add it so the catalogue stays complete", r.id, goldenPath),
+			})
+		}
+	}
+	stale := make([]string, 0, len(golden))
+	for id := range golden {
+		if !seen[id] {
+			stale = append(stale, id)
+		}
+	}
+	sort.Strings(stale)
+	for _, id := range stale {
+		out = append(out, Finding{
+			Pos:      p.pos(p.Files[0].Name),
+			Analyzer: "expgolden",
+			Message: fmt.Sprintf("golden entry %q names no registered experiment; "+
+				"remove it from %s", id, goldenPath),
+		})
+	}
+	return out
+}
+
+// expRegistration is one register(Experiment{ID: "..."}) site.
+type expRegistration struct {
+	id  string
+	pos token.Position
+}
+
+// registeredExperiments collects every register(Experiment{...}) call's
+// string-literal ID, in source order.
+func registeredExperiments(p *Package) []expRegistration {
+	var out []expRegistration
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleeName(call) != "register" || len(call.Args) != 1 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.CompositeLit)
+			if !ok || typeName(lit.Type) != "Experiment" {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || key.Name != "ID" {
+					continue
+				}
+				if id, ok := stringLit(kv.Value); ok {
+					out = append(out, expRegistration{id: id, pos: p.pos(call)})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// expGoldenPath resolves the golden list governing this registry
+// package: its own experiments.golden if present, else the module's
+// cmd/premabench list for the real internal/exp registry.
+func expGoldenPath(p *Package) (string, bool) {
+	local := filepath.Join(p.Dir, expGoldenFile)
+	if _, err := os.Stat(local); err == nil {
+		return local, true
+	}
+	if strings.HasSuffix(p.Path, "internal/exp") {
+		if root, err := FindModuleRoot(p.Dir); err == nil {
+			return filepath.Join(root, "cmd", "premabench", expGoldenFile), true
+		}
+	}
+	return "", false
+}
+
+// readExpGolden parses a golden list: one experiment ID per line,
+// '#' comments and blank lines ignored.
+func readExpGolden(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ids := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ids[line] = true
+	}
+	return ids, nil
+}
+
+// typeName extracts the bare type name of a composite literal's type
+// expression: Experiment{...} or exp.Experiment{...}.
+func typeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return ""
+}
+
+// stringLit unquotes a string-literal expression.
+func stringLit(expr ast.Expr) (string, bool) {
+	lit, ok := expr.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -40,6 +40,7 @@ func TestGoldenFixtures(t *testing.T) {
 		dir      string
 	}{
 		{"determinism", "testdata/src/determinism"},
+		{"expgolden", "testdata/src/expgolden"},
 		{"facadeimport", "testdata/src/facade/cmd/app"},
 		{"registryonce", "testdata/src/registryonce"},
 		{"errdrop", "testdata/src/errdrop"},

@@ -58,6 +58,7 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	all := []*Analyzer{
 		determinismAnalyzer,
+		expGoldenAnalyzer,
 		facadeImportAnalyzer,
 		registryOnceAnalyzer,
 		errDropAnalyzer,

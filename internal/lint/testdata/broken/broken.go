@@ -9,3 +9,17 @@ import "time"
 func Clock() int64 {
 	return time.Now().UnixNano()
 }
+
+// Experiment mirrors the exp registry entry so the expgolden tripwire
+// has a register site to flag.
+type Experiment struct{ ID string }
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+func init() {
+	register(Experiment{ID: "listed"})
+	// "unlisted" is missing from experiments.golden on purpose.
+	register(Experiment{ID: "unlisted"})
+}

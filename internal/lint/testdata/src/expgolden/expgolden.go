@@ -1,0 +1,25 @@
+// Package expgolden is the expgolden analyzer's fixture: a miniature
+// experiment registry whose in-directory golden list
+// (experiments.golden) is missing one registered ID and carries one
+// stale entry, plus a suppressed registration exercising the ignore
+// directive.
+package expgolden // want expgolden: golden entry "ghost" names no registered experiment
+
+// Experiment mirrors the exp package's registry entry.
+type Experiment struct {
+	ID    string
+	Title string
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+func init() {
+	register(Experiment{ID: "fig01", Title: "listed in the golden file"})
+	register(Experiment{ID: "rogue", Title: "missing from the golden file"}) // want expgolden: experiment "rogue" is not in the premabench golden list
+	//premalint:ignore expgolden fixture demonstrates suppressing the golden check
+	register(Experiment{ID: "shadow", Title: "suppressed"})
+}

@@ -6,7 +6,7 @@ package scenario
 // per line, order irrelevant except that duplicates are rejected:
 //
 //	scenario <name>
-//	fleet initial=N [min=N max=N]
+//	fleet initial=N [min=N max=N] [tiers=70%:fast,30%:slow]
 //	routing round-robin|least-queued|least-work
 //	policy <label> [preemptive] [mechanism=<label>]
 //	scaler <label> slo=<duration> [tick=<duration>]
@@ -163,15 +163,19 @@ func (sc *Scenario) parseDirective(key string, args []string) error {
 	return nil
 }
 
-// parseFleet reads "fleet initial=N [min=N max=N]".
+// parseFleet reads "fleet initial=N [min=N max=N] [tiers=<template>]".
 func (sc *Scenario) parseFleet(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: fleet initial=N [min=N max=N]")
+		return fmt.Errorf("usage: fleet initial=N [min=N max=N] [tiers=70%%:fast,30%%:slow]")
 	}
 	for _, a := range args {
 		k, v, ok := strings.Cut(a, "=")
 		if !ok {
 			return fmt.Errorf("fleet wants key=value pairs, got %q", a)
+		}
+		if k == "tiers" {
+			sc.Fleet.Tiers = v
+			continue
 		}
 		n, err := strconv.Atoi(v)
 		if err != nil {
@@ -185,7 +189,7 @@ func (sc *Scenario) parseFleet(args []string) error {
 		case "max":
 			sc.Fleet.Max = n
 		default:
-			return fmt.Errorf("unknown fleet key %q (known: initial min max)", k)
+			return fmt.Errorf("unknown fleet key %q (known: initial min max tiers)", k)
 		}
 	}
 	return nil

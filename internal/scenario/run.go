@@ -48,8 +48,16 @@ func Run(srv *serving.Server, sc *Scenario) (rep *Report, rerr error) {
 			MaxNPUs: sc.Fleet.Max,
 		}
 	}
+	var tiers []serving.Tier
+	if sc.Fleet.Tiers != "" {
+		var err error
+		if tiers, err = serving.FleetFromTemplate(srv.NPU(), sc.Fleet.Tiers); err != nil {
+			return nil, err
+		}
+	}
 	ns, err := srv.OpenNode(serving.NodeConfig{
 		NPUs:    sc.Fleet.Initial,
+		Fleet:   tiers,
 		Routing: sc.Routing,
 		Session: serving.SessionConfig{
 			Policy:         sc.Policy,

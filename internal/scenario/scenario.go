@@ -28,6 +28,10 @@ type Fleet struct {
 	// Min and Max bound the fleet under autoscaling; both are zero (and
 	// must be) when no scaler is attached and the fleet stays fixed.
 	Min, Max int
+	// Tiers is an optional weighted hardware-tier template
+	// ("70%:fast,30%:slow", see serving.ParseFleetTemplate); empty
+	// keeps the fleet homogeneous on the server's base config.
+	Tiers string
 }
 
 // Event is one timed fault-injection operation.
@@ -117,6 +121,11 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Fleet.Initial < 1 {
 		return fmt.Errorf("scenario: fleet needs at least one initial NPU, got %d", sc.Fleet.Initial)
+	}
+	if sc.Fleet.Tiers != "" {
+		if _, err := serving.ParseFleetTemplate(sc.Fleet.Tiers); err != nil {
+			return fmt.Errorf("scenario: fleet tiers: %w", err)
+		}
 	}
 	switch sc.Routing {
 	case cluster.RoundRobin, cluster.LeastQueued, cluster.LeastWork:

@@ -121,10 +121,13 @@ type scaling struct {
 	tickCycles int64
 	sloMS      float64
 	nextTick   int64
-	// estMS collects the fluid latency estimates (queueing plus service,
-	// in ms) of the requests routed since the previous tick; its P95 is
-	// the tick's latency signal.
-	estMS []float64
+	// winStart marks the node's estimate count at the previous tick:
+	// the tick window is the estRing entries pushed since. Reading the
+	// ring the submit path already fills (instead of collecting a
+	// second per-request slice) keeps the autoscale tick overhead off
+	// the routing hot path; scratch is the reused percentile buffer.
+	winStart int
+	scratch  []float64
 	// lastEstP95 carries the latency signal across ticks that saw no
 	// arrivals, decaying geometrically so a quiet stretch reads as
 	// pressure easing rather than flapping between the last P95 and 0.
@@ -186,14 +189,28 @@ func (ns *NodeSession) evaluate(at int64) error {
 		inFlight += ns.state.InFlight(i, at)
 		backlog += ns.state.Backlog(i, at)
 	}
-	if len(sc.estMS) > 0 {
-		// The window is cleared right below, so its order is free to
-		// give away: sorting in place spares the per-tick copy that
-		// dominated the autoscaled submit path's allocations.
-		sc.lastEstP95 = stats.PercentileInPlace(sc.estMS, 95)
+	// The tick window is everything pushed into the estimate ring since
+	// the previous tick (capped at the ring size — a tick seeing more
+	// keeps the most recent estWindow estimates). Copying into the
+	// reused scratch buffer and sorting that in place costs the routing
+	// hot path nothing per request.
+	if n := ns.estCount - sc.winStart; n > 0 {
+		if n > estWindow {
+			n = estWindow
+		}
+		if sc.scratch == nil {
+			sc.scratch = make([]float64, 0, estWindow)
+		}
+		sc.scratch = sc.scratch[:0]
+		start := ns.estCount - n
+		for k := 0; k < n; k++ {
+			sc.scratch = append(sc.scratch, ns.estRing[(start+k)%estWindow])
+		}
+		sc.lastEstP95 = stats.PercentileInPlace(sc.scratch, 95)
 	} else {
 		sc.lastEstP95 *= 0.7
 	}
+	sc.winStart = ns.estCount
 	est := sc.lastEstP95
 	delta := int(sc.policy.Decide(autoscale.Metrics{
 		Now:             at,
@@ -205,8 +222,8 @@ func (ns *NodeSession) evaluate(at int64) error {
 		BacklogMS:       ns.srv.cfg.Millis(backlog),
 		EstP95LatencyMS: est,
 		SLOLatencyMS:    sc.sloMS,
+		TierActive:      ns.tierCounts(),
 	}))
-	sc.estMS = sc.estMS[:0]
 
 	// MaxNPUs caps the hardware concurrently serving, not just the
 	// active set: a draining backend still holding fluid work (or a
@@ -215,7 +232,7 @@ func (ns *NodeSession) evaluate(at int64) error {
 	serving := ns.state.Active() + occupied
 	applied := 0
 	for ; delta > 0 && ns.state.Active() < sc.cfg.MaxNPUs && serving < sc.cfg.MaxNPUs; delta-- {
-		if err := ns.addBackend(); err != nil {
+		if err := ns.addBackend(ns.pickTier()); err != nil {
 			return err
 		}
 		serving++

@@ -284,17 +284,20 @@ func (ns *NodeSession) apply(o nodeOp) error {
 		if ns.state.Failed(i) {
 			return fmt.Errorf("NPU has failed")
 		}
-		if ns.speed[i] != 1 {
-			return fmt.Errorf("NPU already slowed x%g; restore it first", ns.speed[i])
+		// The factor stacks on the backend's nominal speed — a slow
+		// tier's derate on heterogeneous fleets — and restore returns
+		// to that nominal, not to 1.
+		if ns.speed[i] != ns.baseSpeed[i] {
+			return fmt.Errorf("NPU already slowed x%g; restore it first", ns.speed[i]/ns.baseSpeed[i])
 		}
-		ns.speed[i] = o.op.Factor
+		ns.speed[i] = ns.baseSpeed[i] * o.op.Factor
 		ns.record(o.at, "slowdown", i, 0, fmt.Sprintf("x%g", o.op.Factor))
 	case RestoreNPU:
-		if ns.speed[i] == 1 {
+		if ns.speed[i] == ns.baseSpeed[i] {
 			return fmt.Errorf("NPU is not slowed")
 		}
-		ns.record(o.at, "restore", i, 0, fmt.Sprintf("was x%g", ns.speed[i]))
-		ns.speed[i] = 1
+		ns.record(o.at, "restore", i, 0, fmt.Sprintf("was x%g", ns.speed[i]/ns.baseSpeed[i]))
+		ns.speed[i] = ns.baseSpeed[i]
 	case CordonNPU:
 		if err := ns.state.Cordon(i); err != nil {
 			return err
@@ -319,7 +322,7 @@ func (ns *NodeSession) failNPU(i int, at int64) error {
 	if err != nil {
 		return err
 	}
-	ns.speed[i] = 1
+	ns.speed[i] = ns.baseSpeed[i]
 	ns.backends[i].removeReqs(reclaimed)
 	delta := 0
 	if wasRoutable {

@@ -25,6 +25,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/npu"
 	"repro/internal/workload"
@@ -42,6 +43,12 @@ type NodeConfig struct {
 	// this scheduler, batching window and warm-up cut. Backends spun up
 	// by a scale-up run the identical configuration.
 	Session SessionConfig
+	// Fleet partitions the node into weighted hardware tiers (see
+	// FleetFromTemplate); empty keeps every backend on the server's
+	// base config. Initial backends are assigned in tier order by
+	// largest-remainder apportionment, and every scale-up picks the
+	// tier furthest below its weight (autoscale.PickTier).
+	Fleet []Tier
 	// Autoscale attaches an SLO-driven scaling policy that grows and
 	// shrinks the backend set as the stream advances; nil keeps the
 	// fleet fixed.
@@ -95,9 +102,24 @@ type NodeSession struct {
 	// schedule order); opSeq stamps that order.
 	pending []nodeOp
 	opSeq   int
-	// speed is the per-backend service-time multiplier (1 = nominal;
-	// a SlowNPU operation raises it, RestoreNPU resets it).
+	// speed is the per-backend service-time multiplier (baseSpeed =
+	// nominal; a SlowNPU operation raises it, RestoreNPU resets it).
 	speed []float64
+	// baseSpeed is each backend's nominal service-time factor — its
+	// tier's clock derate, 1 everywhere on homogeneous fleets. Chaos
+	// slowdowns stack on it and restores return to it.
+	baseSpeed []float64
+	// tiers is the heterogeneous fleet's hardware classes (nil on
+	// homogeneous fleets); tierOf maps each backend to its tier index,
+	// and tierSpeed/tierWeights cache each tier's derate factor and
+	// apportionment weight. tierActive is the reused per-tier
+	// active-count scratch buffer behind pickTier and the scaler's
+	// Metrics snapshot.
+	tiers       []Tier
+	tierOf      []int
+	tierSpeed   []float64
+	tierWeights []int
+	tierActive  []int
 	// stretchCache shares stretched program copies per (program,
 	// factor); stretchOrig maps a stretched instance back to its
 	// nominal template so failure reclaim can shed the slowdown.
@@ -124,7 +146,9 @@ type NodeSession struct {
 }
 
 // OpenNode validates the configuration and opens a node session with
-// one Session backend per NPU.
+// one Session backend per NPU. A heterogeneous fleet (NodeConfig.Fleet)
+// assigns the initial backends to tiers in tier order by
+// largest-remainder apportionment of the weights.
 func (s *Server) OpenNode(cfg NodeConfig) (*NodeSession, error) {
 	if cfg.NPUs <= 0 {
 		return nil, fmt.Errorf("serving: non-positive NPU count %d", cfg.NPUs)
@@ -132,6 +156,12 @@ func (s *Server) OpenNode(cfg NodeConfig) (*NodeSession, error) {
 	router, err := cluster.NewRouter(cfg.Routing)
 	if err != nil {
 		return nil, err
+	}
+	var tierSpeed []float64
+	if len(cfg.Fleet) > 0 {
+		if tierSpeed, err = fleetSpeeds(cfg.Fleet, s.cfg); err != nil {
+			return nil, err
+		}
 	}
 	backends := make([]*Session, cfg.NPUs)
 	for i := range backends {
@@ -146,17 +176,47 @@ func (s *Server) OpenNode(cfg NodeConfig) (*NodeSession, error) {
 		}
 	}
 	ns := &NodeSession{
-		srv:      s,
-		router:   router,
-		state:    cluster.NewState(cfg.NPUs),
-		backends: backends,
-		session:  cfg.Session,
-		scale:    scale,
-		speed:    make([]float64, cfg.NPUs),
-		estRing:  make([]float64, estWindow),
+		srv:       s,
+		router:    router,
+		state:     cluster.NewState(cfg.NPUs),
+		backends:  backends,
+		session:   cfg.Session,
+		scale:     scale,
+		speed:     make([]float64, cfg.NPUs),
+		baseSpeed: make([]float64, cfg.NPUs),
+		estRing:   make([]float64, estWindow),
+		// The timeline accretes one event per applied scale action and
+		// chaos operation; starting with room for a typical run's worth
+		// amortizes the appends off the tick path.
+		timeline: make([]NodeEvent, 0, 64),
 	}
 	for i := range ns.speed {
 		ns.speed[i] = 1
+		ns.baseSpeed[i] = 1
+	}
+	if len(cfg.Fleet) > 0 {
+		ns.tiers = append([]Tier(nil), cfg.Fleet...)
+		ns.tierSpeed = tierSpeed
+		ns.tierWeights = make([]int, len(cfg.Fleet))
+		for t, tier := range cfg.Fleet {
+			ns.tierWeights[t] = tier.Weight
+		}
+		// Rebuild the router state tier-aware: speed-conscious routers
+		// compare backends in normalized completion time, so each slot
+		// carries its tier's derate factor.
+		counts := apportionFleet(ns.tierWeights, cfg.NPUs)
+		ns.state = cluster.NewState(0)
+		ns.tierOf = make([]int, 0, cfg.NPUs)
+		for t, c := range counts {
+			for k := 0; k < c; k++ {
+				ns.tierOf = append(ns.tierOf, t)
+			}
+		}
+		for i, t := range ns.tierOf {
+			ns.state.AddNPUWithSpeed(tierSpeed[t])
+			ns.speed[i] = tierSpeed[t]
+			ns.baseSpeed[i] = tierSpeed[t]
+		}
 	}
 	if cfg.TrackWork {
 		if err := ns.state.TrackWork(); err != nil {
@@ -225,9 +285,6 @@ func (ns *NodeSession) route(t *workload.Task) error {
 	est := ns.srv.cfg.Millis(ns.state.FreeAt(target) - t.Arrival)
 	ns.estRing[ns.estCount%estWindow] = est
 	ns.estCount++
-	if ns.scale != nil {
-		ns.scale.estMS = append(ns.scale.estMS, est)
-	}
 	return nil
 }
 
@@ -324,6 +381,12 @@ func (ns *NodeSession) OfferClients(spec ClientSpec, rng *rand.Rand) (int, error
 	if spec.Clients <= 0 {
 		return 0, fmt.Errorf("serving: non-positive client count %d", spec.Clients)
 	}
+	if ns.tiers != nil {
+		// Pinned clients submit straight into their backend, skipping the
+		// router's program-stretching, so a slow tier's derate would be
+		// silently ignored.
+		return 0, fmt.Errorf("serving: closed-loop clients bypass the router; heterogeneous fleets require routed traffic (Submit/Offer)")
+	}
 	perNPU := make([]int, len(ns.backends))
 	for c := 0; c < spec.Clients; c++ {
 		perNPU[ns.clientNext%len(ns.backends)]++
@@ -373,9 +436,13 @@ func (ns *NodeSession) EstimateWindow(dst []float64) []float64 {
 type BackendView struct {
 	// NPU is the backend index in spin-up order.
 	NPU int
+	// Tier is the backend's hardware-tier name; empty on homogeneous
+	// fleets.
+	Tier string
 	// State is "active", "draining", "cordoned" or "failed".
 	State string
-	// Speed is the service-time multiplier (1 = nominal).
+	// Speed is the service-time multiplier: the tier's clock derate (1
+	// on homogeneous fleets), raised further by a chaos slowdown.
 	Speed float64
 	// InFlight counts routed requests whose fluid horizon has not
 	// drained at the stream clock.
@@ -394,6 +461,9 @@ func (ns *NodeSession) Fleet() []BackendView {
 	out := make([]BackendView, len(ns.backends))
 	for i, b := range ns.backends {
 		v := BackendView{NPU: i, State: "active", Speed: ns.speed[i], Routed: len(b.reqs)}
+		if ns.tiers != nil {
+			v.Tier = ns.tiers[ns.tierOf[i]].Name
+		}
 		switch {
 		case ns.state.Failed(i):
 			v.State = "failed"
@@ -412,17 +482,57 @@ func (ns *NodeSession) Fleet() []BackendView {
 }
 
 // addBackend spins one fresh Session backend into the shared router
-// state at nominal speed — the shared mechanics of autoscaler scale-up
-// and operator `scale`.
-func (ns *NodeSession) addBackend() error {
+// state — the shared mechanics of autoscaler scale-up and operator
+// `scale`. On a heterogeneous fleet, tier is the backend's hardware
+// class (pickTier chooses it); homogeneous nodes pass -1.
+func (ns *NodeSession) addBackend(tier int) error {
 	b, err := ns.srv.Open(ns.session)
 	if err != nil {
 		return err
 	}
+	sp := 1.0
+	if tier >= 0 {
+		sp = ns.tierSpeed[tier]
+	}
 	ns.backends = append(ns.backends, b)
-	ns.state.AddNPU()
-	ns.speed = append(ns.speed, 1)
+	ns.state.AddNPUWithSpeed(sp)
+	ns.speed = append(ns.speed, sp)
+	ns.baseSpeed = append(ns.baseSpeed, sp)
+	if ns.tiers != nil {
+		ns.tierOf = append(ns.tierOf, tier)
+	}
 	return nil
+}
+
+// tierCounts fills the reused scratch buffer with the number of
+// routable backends per tier — pickTier's divisor inputs and the
+// scaler's Metrics.TierActive view. Nil on homogeneous fleets.
+func (ns *NodeSession) tierCounts() []int {
+	if ns.tiers == nil {
+		return nil
+	}
+	if ns.tierActive == nil {
+		ns.tierActive = make([]int, len(ns.tiers))
+	}
+	for t := range ns.tierActive {
+		ns.tierActive[t] = 0
+	}
+	for i := range ns.backends {
+		if ns.state.Routable(i) {
+			ns.tierActive[ns.tierOf[i]]++
+		}
+	}
+	return ns.tierActive
+}
+
+// pickTier chooses the tier the next scale-up adds: the one furthest
+// below its weighted share of the live fleet (D'Hondt). Homogeneous
+// fleets answer -1.
+func (ns *NodeSession) pickTier() int {
+	if ns.tiers == nil {
+		return -1
+	}
+	return autoscale.PickTier(ns.tierWeights, ns.tierCounts())
 }
 
 // ScaleTo sets the active fleet to n by opening fresh backends or
@@ -448,7 +558,7 @@ func (ns *NodeSession) ScaleTo(n int) error {
 	at := ns.lastArrival
 	applied := 0
 	for ns.state.Active() < n {
-		if err := ns.addBackend(); err != nil {
+		if err := ns.addBackend(ns.pickTier()); err != nil {
 			return err
 		}
 		applied++

@@ -78,3 +78,22 @@ func BenchmarkNodeSessionSubmitAutoscale(b *testing.B) {
 			MinNPUs: 4, MaxNPUs: 4},
 	}, stream)
 }
+
+// BenchmarkNodeSessionSubmitHetero measures the submit path on a
+// weighted two-tier fleet (70% full-speed, 30% half-clock): the
+// speed-aware least-work router weighs backends in normalized
+// completion time, and every request landing on the slow tier pays the
+// program-stretch path. The difference to BenchmarkNodeSessionSubmit
+// is the full heterogeneity cost per request.
+func BenchmarkNodeSessionSubmitHetero(b *testing.B) {
+	s := newServer(b)
+	stream := benchStream(b, s, 2048)
+	fleet, err := FleetFromTemplate(s.cfg, "70%:fast,30%:slow")
+	if err != nil {
+		b.Fatal(err)
+	}
+	submitAll(b, s, NodeConfig{
+		NPUs: 4, Fleet: fleet, Routing: cluster.LeastWork,
+		Session: SessionConfig{Policy: "FCFS"},
+	}, stream)
+}

@@ -55,6 +55,14 @@ type NodeSessionConfig struct {
 	// nil keeps the fleet fixed. Closed-loop clients (OfferClients) pin
 	// to their NPU and are rejected on autoscaling nodes.
 	Autoscale *AutoscaleConfig
+	// Fleet is an optional weighted hardware-tier template
+	// ("70%:fast,30%:slow"): the node's backends split across the
+	// named tiers, a tier's clock derates by its factor (builtin slow
+	// = 2x service time), routing weighs backends in normalized
+	// completion time, and scale-ups pick the tier furthest below its
+	// weight. Closed-loop clients (OfferClients) bypass the router and
+	// are rejected on tiered nodes. Empty keeps the fleet homogeneous.
+	Fleet string
 }
 
 // NodeSessionStats are a node session's steady-state statistics: the
@@ -142,9 +150,16 @@ func (s *System) OpenNode(cfg NodeSessionConfig) (*NodeSession, error) {
 	if seed == 0 {
 		seed = 0x5E55
 	}
+	var tiers []serving.Tier
+	if cfg.Fleet != "" {
+		if tiers, err = serving.FleetFromTemplate(s.opt.NPU, cfg.Fleet); err != nil {
+			return nil, err
+		}
+	}
 	srv := serving.NewServer(s.opt.NPU, s.opt.Sched, s.gen)
 	inner, err := srv.OpenNode(serving.NodeConfig{
 		NPUs:      cfg.NPUs,
+		Fleet:     tiers,
 		Routing:   routing,
 		Autoscale: scale,
 		Session: serving.SessionConfig{

@@ -6,7 +6,9 @@
 # BENCH_serving.json so
 # the perf trajectory is diffable from PR to PR. The derived
 # "autoscale-tick-overhead" entry is the per-request ns delta between
-# the autoscaled and the plain submit path.
+# the autoscaled and the plain submit path; "trace-overhead" is the
+# same delta (plus percentage) for the telemetry-attached path, which
+# the telemetry layer budgets at no more than 15%.
 set -eu
 cd "$(dirname "$0")"
 
@@ -35,7 +37,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go env GOVERSION)" '
 	# benchmarks (sub-benchmark names like pruned-8000 keep theirs) so
 	# the derived overhead row finds them on any machine.
 	norm = name
-	if (norm ~ /^BenchmarkNodeSessionSubmit(Autoscale|Hetero)?(-[0-9]+)?$/)
+	if (norm ~ /^BenchmarkNodeSessionSubmit(Autoscale|Hetero|Traced)?(-[0-9]+)?$/)
 		sub(/-[0-9]+$/, "", norm)
 	metrics = ""
 	for (i = 3; i + 1 <= NF; i += 2) {
@@ -51,6 +53,10 @@ END {
 	if (plain != "" && scaled != "")
 		rows[n++] = sprintf("    {\"name\": \"autoscale-tick-overhead\", \"iterations\": 0, \"ns/req\": %.2f}",
 			scaled - plain)
+	traced = vals["BenchmarkNodeSessionSubmitTraced|ns/req"]
+	if (plain != "" && traced != "")
+		rows[n++] = sprintf("    {\"name\": \"trace-overhead\", \"iterations\": 0, \"ns/req\": %.2f, \"pct\": %.2f}",
+			traced - plain, (traced - plain) / plain * 100)
 	printf "{\n  \"suite\": \"serving\",\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, gover
 	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
 	printf "  ]\n}\n"

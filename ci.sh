@@ -70,6 +70,20 @@ done
 go run ./cmd/premasim -scenario scenarios/baseline.txt \
 	-report-json "$tmpdir/baseline.json" >/dev/null
 grep -q '"source": "scenario"' "$tmpdir/baseline.json"
+# Telemetry determinism: a traced run of the heterogeneous stress
+# scenario must emit a byte-identical JSONL stream (per-request events
+# interleaved with autoscale-tick metric samples) on every replay, even
+# under the race detector — the observability layer reads the same
+# virtual clock as the scheduler and may never perturb or race it.
+trace_ctl() {
+	go run -race ./cmd/premasim -scenario scenarios/hetero-stress.scn \
+		-trace-jsonl "$tmpdir/trace-$1.jsonl" >/dev/null
+}
+trace_ctl a
+trace_ctl b
+cmp "$tmpdir/trace-a.jsonl" "$tmpdir/trace-b.jsonl"
+grep -q '"kind":"tick"' "$tmpdir/trace-a.jsonl"
+grep -q '"tier":"slow"' "$tmpdir/trace-a.jsonl"
 
 # Control-plane replay: the checked-in command script must run clean at
 # time-scale 0 and produce the same transcript and report digest on

@@ -33,6 +33,7 @@ type cli struct {
 	load       float64
 	script     string
 	listen     string
+	trace      bool
 	reportJSON string
 	reportHTML string
 	name       string
@@ -74,6 +75,8 @@ func parseCLI(args []string) (*cli, error) {
 		"command script to run instead of the REPL (@<time> <command> lines)")
 	fs.StringVar(&c.listen, "listen", "",
 		"serve the command API over HTTP on this address (e.g. :8080)")
+	fs.BoolVar(&c.trace, "trace", false,
+		"attach telemetry: the trace/metrics commands and /trace, /metrics endpoints read from it")
 	fs.StringVar(&c.reportJSON, "report-json", "", "write the final run report as JSON to this file")
 	fs.StringVar(&c.reportHTML, "report-html", "", "write the final run report as HTML to this file")
 	fs.StringVar(&c.name, "name", "", "label for the run's report")
@@ -135,6 +138,9 @@ func (c *cli) planeConfig() (prema.ControlPlaneConfig, error) {
 		Load:      c.load,
 		Name:      c.name,
 		Fleet:     c.fleet,
+	}
+	if c.trace {
+		cfg.Trace = prema.NewTelemetry()
 	}
 	if c.models != "" {
 		for _, m := range strings.Split(c.models, ",") {

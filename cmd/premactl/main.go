@@ -64,7 +64,7 @@ func run(args []string, stdin *os.File, stdout *os.File) int {
 			return fail(err)
 		}
 		defer ln.Close() //premalint:ignore errdrop closing the listener at exit; the sockets' fate no longer affects the run
-		fmt.Fprintf(stdout, "premactl: command API on http://%s (/cmd?q=..., /snapshot, /report)\n", ln.Addr())
+		fmt.Fprintf(stdout, "premactl: command API on http://%s (/cmd?q=..., /snapshot, /report, /trace, /metrics)\n", ln.Addr())
 		srv := &http.Server{Handler: plane.Handler()}
 		go srv.Serve(ln) //premalint:ignore errdrop Serve returns ErrServerClosed on the exit path; the session's outcome is the plane's, not the mirror's
 	}

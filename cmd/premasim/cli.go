@@ -41,6 +41,7 @@ type cli struct {
 	scenario     string
 	reportJSON   string
 	reportHTML   string
+	traceJSONL   string
 
 	// set records which flags the user passed explicitly; defaults
 	// never trigger the combination checks.
@@ -90,6 +91,8 @@ func parseCLI(args []string) (*cli, error) {
 		"write the scenario's run report (the schema premactl exports) as JSON to this file; requires -scenario")
 	fs.StringVar(&c.reportHTML, "report-html", "",
 		"write the scenario's run report as a self-contained HTML page to this file; requires -scenario")
+	fs.StringVar(&c.traceJSONL, "trace-jsonl", "",
+		"run the scenario with telemetry attached and write the per-request trace plus tick metrics as JSONL to this file; requires -scenario")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -110,7 +113,7 @@ func (c *cli) validate() error {
 		// compose with -scenario.
 		names := make([]string, 0, len(c.set))
 		for name := range c.set {
-			if name != "scenario" && name != "report-json" && name != "report-html" {
+			if name != "scenario" && name != "report-json" && name != "report-html" && name != "trace-jsonl" {
 				names = append(names, name)
 			}
 		}
@@ -125,6 +128,9 @@ func (c *cli) validate() error {
 	}
 	if c.set["report-json"] || c.set["report-html"] {
 		return fmt.Errorf("-report-json/-report-html export a scenario's run report: add -scenario <file>")
+	}
+	if c.set["trace-jsonl"] {
+		return fmt.Errorf("-trace-jsonl exports a scenario's telemetry: add -scenario <file>")
 	}
 	if c.set["routing"] && c.npus == 1 && c.clients == 0 && c.autoscale == "" {
 		return fmt.Errorf("-routing needs a multi-NPU node: combine it with -npus > 1, -clients or -autoscale")

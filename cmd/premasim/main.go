@@ -158,7 +158,9 @@ func main() {
 // runScenario executes one declarative chaos scenario file and prints
 // its report; a failed assertion exits non-zero. -report-json and
 // -report-html export the run through the shared RunReport schema —
-// the same shape premactl sessions emit.
+// the same shape premactl sessions emit — and -trace-jsonl attaches
+// telemetry and exports the per-request trace plus tick metrics as
+// sorted JSONL (byte-identical across replays of the same scenario).
 func runScenario(c *cli) {
 	src, err := os.ReadFile(c.scenario)
 	if err != nil {
@@ -172,11 +174,24 @@ func runScenario(c *cli) {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := sys.RunScenario(sc)
+	var tr *prema.Telemetry
+	if c.traceJSONL != "" {
+		tr = prema.NewTelemetry()
+	}
+	rep, err := sys.RunScenarioTraced(sc, tr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(rep.Render())
+	if c.traceJSONL != "" {
+		lines, err := prema.EncodeTraceJSONL(rep.Events, rep.Samples)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(c.traceJSONL, lines, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 	if c.reportJSON != "" || c.reportHTML != "" {
 		run := prema.ReportFromScenario(rep)
 		if c.reportJSON != "" {

@@ -80,6 +80,10 @@ type ControlPlaneConfig struct {
 	// ("70%:fast,30%:slow", see NodeSessionConfig.Fleet); empty keeps
 	// the fleet homogeneous.
 	Fleet string
+	// Trace attaches a telemetry handle (NewTelemetry) to the plane's
+	// node: the `trace`/`metrics` commands and the /trace and /metrics
+	// HTTP endpoints read from it. nil disables telemetry.
+	Trace *Telemetry
 }
 
 // OpenControlPlane validates the configuration and opens a live control
@@ -117,6 +121,7 @@ func (s *System) OpenControlPlane(cfg ControlPlaneConfig) (*ControlPlane, error)
 			Fleet:     tiers,
 			Routing:   routing,
 			Autoscale: scale,
+			Trace:     cfg.Trace,
 			Session: serving.SessionConfig{
 				Policy:         string(cfg.Scheduler.Policy),
 				Preemptive:     cfg.Scheduler.Preemptive,

@@ -93,6 +93,26 @@ func PickTier(weights, counts []int) int {
 	return best
 }
 
+// PickRetireTier chooses which hardware tier a scale-down should shrink
+// — the inverse of PickTier: among tiers that still have routable
+// backends, the one furthest above its weighted share (largest
+// counts[t]/weights[t], compared by cross-multiplication so the rule is
+// exact in integers). Ties go to the earliest tier; -1 when every tier
+// is empty. Retiring from the most over-represented tier keeps a long
+// drawdown proportioned to the template instead of skewing the mix.
+func PickRetireTier(weights, counts []int) int {
+	best := -1
+	for t := 0; t < len(weights); t++ {
+		if counts[t] == 0 {
+			continue
+		}
+		if best < 0 || counts[t]*weights[best] > counts[best]*weights[t] {
+			best = t
+		}
+	}
+	return best
+}
+
 // Config parameterizes built-in policy construction.
 type Config struct {
 	// SLOLatencyMS is the P95 latency target in milliseconds; it is also

@@ -204,3 +204,49 @@ func TestQueueDepthBurstStep(t *testing.T) {
 		t.Errorf("want burst step +2, got %+d", d)
 	}
 }
+
+// TestPickRetireTier pins the inverse-D'Hondt retire rule: shrink the
+// tier furthest above its weighted share, ties to the earliest tier,
+// skip empty tiers, -1 when nothing is left to retire.
+func TestPickRetireTier(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []int
+		counts  []int
+		want    int
+	}{
+		{"proportioned tie goes earliest", []int{70, 30}, []int{7, 3}, 0},
+		{"slow tier over its share", []int{70, 30}, []int{6, 3}, 1},
+		{"fast tier over its share", []int{70, 30}, []int{7, 2}, 0},
+		{"empty tier skipped", []int{50, 50}, []int{0, 1}, 1},
+		{"all empty", []int{50, 50}, []int{0, 0}, -1},
+		{"single tier", []int{1}, []int{3}, 0},
+		{"inverse of scale-up", []int{60, 40}, []int{1, 4}, 1},
+	}
+	for _, tc := range cases {
+		if got := PickRetireTier(tc.weights, tc.counts); got != tc.want {
+			t.Errorf("%s: PickRetireTier(%v, %v) = %d, want %d",
+				tc.name, tc.weights, tc.counts, got, tc.want)
+		}
+	}
+}
+
+// TestPickRetireTierDrawdown pins the full drawdown order of a 70/30
+// fleet at 7/3: retire interleaves the tiers so every intermediate
+// fleet stays as close to the weighted template as integers allow,
+// ending only when both tiers are empty.
+func TestPickRetireTierDrawdown(t *testing.T) {
+	weights := []int{70, 30}
+	counts := []int{7, 3}
+	want := []int{0, 1, 0, 0, 1, 0, 0, 1, 0, 0}
+	for step, w := range want {
+		got := PickRetireTier(weights, counts)
+		if got != w {
+			t.Fatalf("step %d: retire tier %d, want %d (counts %v)", step, got, w, counts)
+		}
+		counts[got]--
+	}
+	if got := PickRetireTier(weights, counts); got != -1 {
+		t.Errorf("empty fleet retires tier %d, want -1", got)
+	}
+}

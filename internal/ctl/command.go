@@ -42,6 +42,8 @@ const helpText = `commands:
   scale <n>            set the active fleet to n backends
   load <x>             offered load per NPU-capacity, from the next segment boundary
   snapshot             point-in-time metrics: fleet, tick-window P50/P95/P99, SLO, timeline tail
+  trace                per-request trace summary and worst requests (needs -trace)
+  metrics              recent autoscale-tick metric samples (needs -trace)
   report               the run report so far (JSON/HTML exportable at exit)
   step [dur]           advance the virtual clock (default one step)
   pause | resume       stop or restart paced advancement
@@ -161,6 +163,10 @@ func (p *Plane) dispatch(at int64, line string) (string, error) {
 		return fmt.Sprintf("offered load %g from the next segment boundary", x), nil
 	case "snapshot":
 		return p.snapshotLocked(at).Render(), nil
+	case "trace":
+		return p.renderTrace()
+	case "metrics":
+		return p.renderMetrics()
 	case "report":
 		return p.buildReport().Render(), nil
 	case "step":
@@ -275,7 +281,7 @@ func (p *Plane) Commands() []CommandRecord {
 func sortedVerbs() []string {
 	verbs := []string{"help", "time", "list", "get", "cordon", "uncordon",
 		"fail", "restore", "slow", "drain", "scale", "load", "snapshot",
-		"report", "step", "pause", "resume", "quit"}
+		"trace", "metrics", "report", "step", "pause", "resume", "quit"}
 	sort.Strings(verbs)
 	return verbs
 }

@@ -9,6 +9,7 @@ package ctl
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 )
 
@@ -25,6 +26,8 @@ type cmdResponse struct {
 //	GET /cmd?q=<command>   execute one command line
 //	GET /snapshot          the point-in-time metrics snapshot
 //	GET /report            the run report (live, or final after quit)
+//	GET /trace             the per-request trace summary and events (404 without -trace)
+//	GET /metrics           the tick-sampled metric series (404 without -trace)
 func (p *Plane) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cmd", func(w http.ResponseWriter, r *http.Request) {
@@ -48,15 +51,42 @@ func (p *Plane) Handler() http.Handler {
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.Report())
 	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		exp, err := p.TraceExport()
+		if err != nil {
+			writeTelemetryError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, exp)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		samples, err := p.MetricSamples()
+		if err != nil {
+			writeTelemetryError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, samples)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("premactl control plane\n  /cmd?q=<command>\n  /snapshot\n  /report\n"))
+		_, _ = w.Write([]byte("premactl control plane\n  /cmd?q=<command>\n  /snapshot\n  /report\n  /trace\n  /metrics\n"))
 	})
 	return mux
+}
+
+// writeTelemetryError maps a telemetry export failure: an unattached
+// handle is a 404 (the endpoint does not exist on this plane), anything
+// else a 500.
+func writeTelemetryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, ErrNoTelemetry) {
+		status = http.StatusNotFound
+	}
+	http.Error(w, err.Error(), status)
 }
 
 // writeJSON writes one indented JSON response.

@@ -1,0 +1,166 @@
+package ctl
+
+// http_test.go exercises the HTTP mirror endpoint by endpoint: the
+// error shapes (/cmd without a query, unknown verbs, unknown paths),
+// the JSON contracts of /cmd, /snapshot and /report, and the telemetry
+// endpoints in both states — 404 on a plane without a handle, live
+// JSON on one attached with serving.NodeConfig.Trace.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serving"
+	"repro/internal/telemetry"
+)
+
+// newTracedPlane opens newPlane's fleet with a telemetry handle
+// attached, and advances far enough that the tracer holds events and
+// the recorder holds autoscale-tick samples.
+func newTracedPlane(t testing.TB) *Plane {
+	t.Helper()
+	p, err := New(newServer(t), Config{
+		Node: serving.NodeConfig{
+			NPUs:    2,
+			Routing: cluster.LeastWork,
+			Session: serving.SessionConfig{Policy: "PREMA", Preemptive: true},
+			Autoscale: &serving.AutoscaleConfig{
+				Scaler: "queue-depth", SLO: 8 * time.Millisecond,
+				MinNPUs: 2, MaxNPUs: 4,
+			},
+			Trace: telemetry.New(),
+		},
+		Seed:    7,
+		Segment: 25 * time.Millisecond,
+		Load:    2,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+// get runs one request through the handler and returns the recorder.
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+	return rr
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	plain := newPlane(t)
+	traced := newTracedPlane(t)
+	for _, p := range []*Plane{plain, traced} {
+		if _, err := p.Exec("step 60ms"); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	plainH, tracedH := plain.Handler(), traced.Handler()
+
+	const jsonCT = "application/json; charset=utf-8"
+	cases := []struct {
+		name     string
+		handler  http.Handler
+		path     string
+		status   int
+		ct       string // "" skips the content-type check
+		contains string
+	}{
+		{"index", plainH, "/", http.StatusOK, "text/plain; charset=utf-8", "/snapshot"},
+		{"index lists telemetry", plainH, "/", http.StatusOK, "", "/metrics"},
+		{"unknown path", plainH, "/nope", http.StatusNotFound, "", "404 page not found"},
+		{"cmd missing query", plainH, "/cmd", http.StatusBadRequest, "", "missing command: /cmd?q=list"},
+		{"cmd unknown verb", plainH, "/cmd?q=bogus", http.StatusUnprocessableEntity, jsonCT, "unknown command"},
+		{"cmd list", plainH, "/cmd?q=list", http.StatusOK, jsonCT, "active"},
+		{"snapshot", plainH, "/snapshot", http.StatusOK, jsonCT, `"fleet"`},
+		{"report", plainH, "/report", http.StatusOK, jsonCT, `"source": "premactl"`},
+		{"trace unattached", plainH, "/trace", http.StatusNotFound, "", "telemetry not attached"},
+		{"metrics unattached", plainH, "/metrics", http.StatusNotFound, "", "telemetry not attached"},
+		{"trace attached", tracedH, "/trace", http.StatusOK, jsonCT, `"summary"`},
+		{"metrics attached", tracedH, "/metrics", http.StatusOK, jsonCT, `"est_p95_ms"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr := get(t, tc.handler, tc.path)
+			if rr.Code != tc.status {
+				t.Errorf("GET %s: status %d, want %d\nbody: %s", tc.path, rr.Code, tc.status, rr.Body)
+			}
+			if tc.ct != "" {
+				if got := rr.Header().Get("Content-Type"); got != tc.ct {
+					t.Errorf("GET %s: content-type %q, want %q", tc.path, got, tc.ct)
+				}
+			}
+			if !strings.Contains(rr.Body.String(), tc.contains) {
+				t.Errorf("GET %s: body missing %q:\n%s", tc.path, tc.contains, rr.Body)
+			}
+		})
+	}
+}
+
+// TestHandlerCmdJSON pins the /cmd response schema on both the success
+// and the refusal path.
+func TestHandlerCmdJSON(t *testing.T) {
+	h := newPlane(t).Handler()
+
+	var ok cmdResponse
+	rr := get(t, h, "/cmd?q=time")
+	if err := json.Unmarshal(rr.Body.Bytes(), &ok); err != nil {
+		t.Fatalf("decode /cmd?q=time: %v", err)
+	}
+	if ok.Cmd != "time" || ok.Output == "" || ok.Err != "" {
+		t.Errorf("unexpected success response: %+v", ok)
+	}
+
+	var refused cmdResponse
+	rr = get(t, h, "/cmd?q=scale")
+	if rr.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("refused command: status %d, want 422", rr.Code)
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &refused); err != nil {
+		t.Fatalf("decode refused /cmd: %v", err)
+	}
+	if refused.Err == "" || refused.Output != "" {
+		t.Errorf("unexpected refusal response: %+v", refused)
+	}
+}
+
+// TestHandlerTelemetryJSON decodes the traced endpoints: the trace
+// export must carry events with a consistent summary, and the metric
+// series must hold per-NPU samples from the autoscale tick.
+func TestHandlerTelemetryJSON(t *testing.T) {
+	p := newTracedPlane(t)
+	if _, err := p.Exec("step 60ms"); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	h := p.Handler()
+
+	var exp TraceExport
+	if err := json.Unmarshal(get(t, h, "/trace").Body.Bytes(), &exp); err != nil {
+		t.Fatalf("decode /trace: %v", err)
+	}
+	if len(exp.Events) == 0 || exp.Summary.Requests == 0 {
+		t.Errorf("traced run exported no events: summary %+v", exp.Summary)
+	}
+	if exp.Summary.Events != len(exp.Events) {
+		t.Errorf("summary counts %d events, export carries %d", exp.Summary.Events, len(exp.Events))
+	}
+
+	var samples []telemetry.TickSample
+	if err := json.Unmarshal(get(t, h, "/metrics").Body.Bytes(), &samples); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatalf("traced autoscaled run recorded no tick samples")
+	}
+	last := samples[len(samples)-1]
+	if last.Fleet == 0 || len(last.NPUs) != last.Fleet {
+		t.Errorf("tick sample fleet/NPUs mismatch: %+v", last)
+	}
+}

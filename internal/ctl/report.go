@@ -16,6 +16,8 @@ import (
 	"strings"
 
 	"repro/internal/scenario"
+	"repro/internal/serving"
+	"repro/internal/telemetry"
 )
 
 // ReportEvent is one fleet-timeline entry.
@@ -59,6 +61,163 @@ type SLOSummary struct {
 	ViolationFrac float64 `json:"violation_frac"`
 }
 
+// TierSummary is one hardware tier's realized slice of the run; only
+// heterogeneous fleets carry tier rows.
+type TierSummary struct {
+	// Tier is the tier name, in template order.
+	Tier string `json:"tier"`
+	// NPUs counts the backends ever assigned to the tier.
+	NPUs int `json:"npus"`
+	// Requests and Measured count the tier's routed and post-warm-up
+	// requests.
+	Requests int `json:"requests"`
+	Measured int `json:"measured"`
+	// MeanLatencyMS, P50MS and P95MS summarize the tier's measured
+	// turnaround.
+	MeanLatencyMS float64 `json:"mean_latency_ms"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	// SLOViolationFrac is the tier's share of measured requests over the
+	// scaler's latency SLO; zero without a scaler.
+	SLOViolationFrac float64 `json:"slo_violation_frac"`
+}
+
+// SeriesPoint is one autoscale-tick sample on the report's metric
+// timeline.
+type SeriesPoint struct {
+	AtMS float64 `json:"at_ms"`
+	// Fleet is the routable backend count at the tick, before the
+	// scaler's decision applied.
+	Fleet int `json:"fleet"`
+	// EstP95MS is the tick window's fluid P95 latency estimate.
+	EstP95MS float64 `json:"est_p95_ms"`
+	// Completions is the number of requests whose estimated work drained
+	// during the tick.
+	Completions int `json:"completions"`
+}
+
+// NPUSeries is one backend's utilization strip over the tick series.
+type NPUSeries struct {
+	NPU  int    `json:"npu"`
+	Tier string `json:"tier,omitempty"`
+	// Util is the backend's fluid utilization per tick; -1 marks ticks
+	// before the backend was spun up.
+	Util []float64 `json:"util"`
+}
+
+// Series is the tick-sampled metric timeline of a run with telemetry
+// attached (telemetry.Recorder): one point per autoscale tick plus one
+// utilization strip per backend. Nil without telemetry or a scaler —
+// the recorder samples on the autoscale tick.
+type Series struct {
+	Points      []SeriesPoint `json:"points"`
+	Utilization []NPUSeries   `json:"utilization"`
+}
+
+// sparkRunes are the eighth-block glyphs the sparkline renderings use.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// LatencySpark renders the series' estimated-P95 timeline as a Unicode
+// sparkline, scaled to the series maximum.
+func (s *Series) LatencySpark() string {
+	max := 0.0
+	for _, p := range s.Points {
+		if p.EstP95MS > max {
+			max = p.EstP95MS
+		}
+	}
+	var b strings.Builder
+	for _, p := range s.Points {
+		i := 0
+		if max > 0 {
+			i = int(p.EstP95MS/max*float64(len(sparkRunes)-1) + 0.5)
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// MaxEstP95MS is the series' peak estimated P95 — the sparkline's scale.
+func (s *Series) MaxEstP95MS() float64 {
+	max := 0.0
+	for _, p := range s.Points {
+		if p.EstP95MS > max {
+			max = p.EstP95MS
+		}
+	}
+	return max
+}
+
+// Strip renders the backend's per-tick utilization as a Unicode block
+// strip; '·' marks ticks before the backend existed.
+func (n NPUSeries) Strip() string {
+	var b strings.Builder
+	for _, u := range n.Util {
+		if u < 0 {
+			b.WriteRune('·')
+			continue
+		}
+		i := int(u*float64(len(sparkRunes)-1) + 0.5)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sparkRunes) {
+			i = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}
+
+// buildSeries converts the recorder's tick samples into the report's
+// series section; nil when nothing was sampled.
+func buildSeries(samples []telemetry.TickSample) *Series {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := &Series{Points: make([]SeriesPoint, len(samples))}
+	width := 0
+	for i, t := range samples {
+		s.Points[i] = SeriesPoint{
+			AtMS: t.AtMS, Fleet: t.Fleet,
+			EstP95MS: t.EstP95MS, Completions: t.Completions,
+		}
+		if len(t.NPUs) > width {
+			width = len(t.NPUs)
+		}
+	}
+	s.Utilization = make([]NPUSeries, width)
+	for i := range s.Utilization {
+		ns := NPUSeries{NPU: i, Util: make([]float64, len(samples))}
+		for k, t := range samples {
+			if i < len(t.NPUs) {
+				ns.Util[k] = t.NPUs[i].UtilFrac
+				ns.Tier = t.NPUs[i].Tier
+			} else {
+				ns.Util[k] = -1
+			}
+		}
+		s.Utilization[i] = ns
+	}
+	return s
+}
+
+// tierSummaries converts the node's per-tier statistics into the
+// report's shape.
+func tierSummaries(tiers []serving.TierStats) []TierSummary {
+	out := make([]TierSummary, len(tiers))
+	for i, t := range tiers {
+		out[i] = TierSummary{
+			Tier: t.Tier, NPUs: t.NPUs,
+			Requests: t.Requests, Measured: t.Measured,
+			MeanLatencyMS: t.MeanLatencyMS,
+			P50MS:         t.P50LatencyMS, P95MS: t.P95LatencyMS,
+			SLOViolationFrac: t.SLOViolationFrac,
+		}
+	}
+	return out
+}
+
 // AssertOutcome is one evaluated scenario assertion.
 type AssertOutcome struct {
 	Expr   string `json:"expr"`
@@ -91,6 +250,12 @@ type RunReport struct {
 	Timeline []ReportEvent   `json:"timeline"`
 	Commands []CommandRecord `json:"commands,omitempty"`
 	Asserts  []AssertOutcome `json:"asserts,omitempty"`
+	// Tiers is the per-tier statistics breakdown; nil on homogeneous
+	// fleets or before any request clears the warm-up window.
+	Tiers []TierSummary `json:"tiers,omitempty"`
+	// Series is the tick-sampled metric timeline; nil without telemetry
+	// attached (NodeConfig.Trace with a Recorder) or without a scaler.
+	Series *Series `json:"series,omitempty"`
 }
 
 // buildReport derives the run report from the plane's current state;
@@ -111,6 +276,9 @@ func (p *Plane) buildReport() *RunReport {
 		Timeline: p.reportEvents(events),
 		Commands: append([]CommandRecord(nil), p.commands...),
 	}
+	if tr := p.ns.Telemetry(); tr != nil && tr.Recorder != nil {
+		r.Series = buildSeries(tr.Recorder.Samples())
+	}
 	st, err := p.realizedStats()
 	if err != nil {
 		r.StatsNote = err.Error()
@@ -127,6 +295,9 @@ func (p *Plane) buildReport() *RunReport {
 			TargetMS:      st.Scaling.SLOLatencyMS,
 			ViolationFrac: st.Scaling.SLOViolationFrac,
 		}
+	}
+	if st.Tiers != nil {
+		r.Tiers = tierSummaries(st.Tiers)
 	}
 	return r
 }
@@ -183,6 +354,10 @@ func FromScenario(rep *scenario.Report) *RunReport {
 			Expr: a.Expr, Pass: a.Pass, Detail: a.Detail,
 		})
 	}
+	if rep.Tiers != nil {
+		r.Tiers = tierSummaries(rep.Tiers)
+	}
+	r.Series = buildSeries(rep.Samples)
 	return r
 }
 
@@ -208,6 +383,14 @@ func (r *RunReport) Render() string {
 	if r.SLO != nil {
 		fmt.Fprintf(&b, "slo: %.1fms target, %.1f%% violated\n",
 			r.SLO.TargetMS, r.SLO.ViolationFrac*100)
+	}
+	for _, t := range r.Tiers {
+		fmt.Fprintf(&b, "tier %s: %d npus, %d requests, p95 %.2fms, %.1f%% over SLO\n",
+			t.Tier, t.NPUs, t.Requests, t.P95MS, t.SLOViolationFrac*100)
+	}
+	if r.Series != nil {
+		fmt.Fprintf(&b, "series: %d ticks, est p95 %s (peak %.2fms)\n",
+			len(r.Series.Points), r.Series.LatencySpark(), r.Series.MaxEstP95MS())
 	}
 	if len(r.Commands) > 0 {
 		fmt.Fprintf(&b, "commands: %d executed\n", len(r.Commands))
@@ -236,6 +419,8 @@ th { color: #57606a; font-weight: 600; }
 td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
 .err { color: #a40e26; }
 code { background: #f6f8fa; padding: .1rem .3rem; border-radius: .3rem; }
+.spark { font: 1.1rem/1.3 "SFMono-Regular", Consolas, monospace; letter-spacing: .04em; margin: .2rem 0; }
+td.spark { font-size: .95rem; }
 </style>
 </head>
 <body>
@@ -258,6 +443,24 @@ code { background: #f6f8fa; padding: .1rem .3rem; border-radius: .3rem; }
 <h2>Latency</h2>
 <table><tr><th class="num">mean</th><th class="num">p50</th><th class="num">p95</th><th class="num">p99</th></tr>
 <tr><td class="num">{{printf "%.2f" .Latency.MeanMS}}ms</td><td class="num">{{printf "%.2f" .Latency.P50MS}}ms</td><td class="num">{{printf "%.2f" .Latency.P95MS}}ms</td><td class="num">{{printf "%.2f" .Latency.P99MS}}ms</td></tr></table>
+{{- end}}
+{{- if .Tiers}}
+<h2>Tiers</h2>
+<table><tr><th>tier</th><th class="num">npus</th><th class="num">requests</th><th class="num">measured</th><th class="num">mean</th><th class="num">p50</th><th class="num">p95</th><th class="num">over SLO</th></tr>
+{{- range .Tiers}}
+<tr><td>{{.Tier}}</td><td class="num">{{.NPUs}}</td><td class="num">{{.Requests}}</td><td class="num">{{.Measured}}</td><td class="num">{{printf "%.2f" .MeanLatencyMS}}ms</td><td class="num">{{printf "%.2f" .P50MS}}ms</td><td class="num">{{printf "%.2f" .P95MS}}ms</td><td class="num">{{printf "%.1f" (pct .SLOViolationFrac)}}%</td></tr>
+{{- end}}
+</table>
+{{- end}}
+{{- if .Series}}
+<h2>Tick series</h2>
+<p class="meta">estimated p95 latency per autoscale tick, scaled to the peak ({{printf "%.2f" .Series.MaxEstP95MS}}ms) over {{len .Series.Points}} ticks</p>
+<div class="spark">{{.Series.LatencySpark}}</div>
+<table><tr><th>npu</th><th>tier</th><th>utilization</th></tr>
+{{- range .Series.Utilization}}
+<tr><td>npu{{.NPU}}</td><td>{{.Tier}}</td><td class="spark">{{.Strip}}</td></tr>
+{{- end}}
+</table>
 {{- end}}
 <h2>Fleet timeline</h2>
 <table><tr><th class="num">at</th><th>event</th><th>npu</th><th class="num">delta</th><th class="num">fleet</th><th>note</th></tr>

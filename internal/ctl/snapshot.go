@@ -27,6 +27,21 @@ type NPUSnapshot struct {
 	Routed    int     `json:"routed"`
 }
 
+// TierSnapshot aggregates one hardware tier's slice of a snapshot.
+// Only heterogeneous fleets carry tier rows, so homogeneous snapshots
+// keep their exact pre-tier shape.
+type TierSnapshot struct {
+	Tier      string  `json:"tier"`
+	Active    int     `json:"active"`
+	InFlight  int     `json:"in_flight"`
+	BacklogMS float64 `json:"backlog_ms"`
+	// P95LatencyMS and SLOViolationFrac are the tier's realized slice of
+	// the node statistics; zero until the tier's requests clear the
+	// warm-up window (or without a scaler, for the violation fraction).
+	P95LatencyMS     float64 `json:"p95_latency_ms,omitempty"`
+	SLOViolationFrac float64 `json:"slo_violation_frac,omitempty"`
+}
+
 // Snapshot is the plane's point-in-time metrics view.
 type Snapshot struct {
 	// AtMS is the virtual instant the snapshot was taken at.
@@ -40,6 +55,9 @@ type Snapshot struct {
 	// Active and Fleet describe the backend set.
 	Active int           `json:"active"`
 	Fleet  []NPUSnapshot `json:"fleet"`
+	// Tiers aggregates the fleet per hardware tier; nil on homogeneous
+	// fleets.
+	Tiers []TierSnapshot `json:"tiers,omitempty"`
 	// TickP50MS/P95/P99 are percentiles over the most recent fluid
 	// latency estimates (the tick window's signal); TickWindow is the
 	// sample count they summarize, 0 when no traffic has flowed yet.
@@ -76,7 +94,8 @@ func (p *Plane) snapshotLocked(at int64) Snapshot {
 		Load:     p.load,
 		Requests: p.offered,
 	}
-	for _, v := range p.ns.Fleet() {
+	fleet := p.ns.Fleet()
+	for _, v := range fleet {
 		if v.State == "active" {
 			s.Active++
 		}
@@ -94,12 +113,17 @@ func (p *Plane) snapshotLocked(at int64) Snapshot {
 		s.TickP95MS = stats.PercentileInPlace(p.estScratch, 95)
 		s.TickP99MS = stats.PercentileInPlace(p.estScratch, 99)
 	}
+	var stTiers []serving.TierStats
 	if st, err := p.realizedStats(); err != nil {
 		s.StatsNote = err.Error()
-	} else if st.Scaling != nil {
-		s.SLOLatencyMS = st.Scaling.SLOLatencyMS
-		s.SLOViolationFrac = st.Scaling.SLOViolationFrac
+	} else {
+		if st.Scaling != nil {
+			s.SLOLatencyMS = st.Scaling.SLOLatencyMS
+			s.SLOViolationFrac = st.Scaling.SLOViolationFrac
+		}
+		stTiers = st.Tiers
 	}
+	s.Tiers = tierSnapshots(fleet, stTiers)
 	events := p.ns.Timeline()
 	tail := events
 	if len(tail) > 5 {
@@ -107,6 +131,37 @@ func (p *Plane) snapshotLocked(at int64) Snapshot {
 	}
 	s.ScalingTail = p.reportEvents(tail)
 	return s
+}
+
+// tierSnapshots aggregates the per-NPU views per hardware tier, in
+// first-assigned order, grafting on the node's realized per-tier
+// statistics when it has them. Nil on homogeneous fleets.
+func tierSnapshots(fleet []serving.BackendView, tiers []serving.TierStats) []TierSnapshot {
+	if len(fleet) == 0 || fleet[0].Tier == "" {
+		return nil
+	}
+	idx := map[string]int{}
+	var out []TierSnapshot
+	for _, v := range fleet {
+		i, ok := idx[v.Tier]
+		if !ok {
+			i = len(out)
+			idx[v.Tier] = i
+			out = append(out, TierSnapshot{Tier: v.Tier})
+		}
+		if v.State == "active" {
+			out[i].Active++
+		}
+		out[i].InFlight += v.InFlight
+		out[i].BacklogMS += v.BacklogMS
+	}
+	for _, ts := range tiers {
+		if i, ok := idx[ts.Tier]; ok {
+			out[i].P95LatencyMS = ts.P95LatencyMS
+			out[i].SLOViolationFrac = ts.SLOViolationFrac
+		}
+	}
+	return out
 }
 
 // realizedStats answers the node's realized statistics, or a
@@ -142,6 +197,17 @@ func (s Snapshot) Render() string {
 	for _, v := range s.Fleet {
 		fmt.Fprintf(&b, "  npu%-3d %-9s x%-5g in-flight %-4d backlog %.2fms routed %d\n",
 			v.NPU, v.State, v.Speed, v.InFlight, v.BacklogMS, v.Routed)
+	}
+	for _, t := range s.Tiers {
+		fmt.Fprintf(&b, "  tier %-8s %d active  in-flight %-4d backlog %.2fms",
+			t.Tier, t.Active, t.InFlight, t.BacklogMS)
+		if t.P95LatencyMS > 0 {
+			fmt.Fprintf(&b, "  p95 %.2fms", t.P95LatencyMS)
+		}
+		if t.SLOViolationFrac > 0 {
+			fmt.Fprintf(&b, "  slo-viol %.1f%%", t.SLOViolationFrac*100)
+		}
+		b.WriteByte('\n')
 	}
 	if s.TickWindow > 0 {
 		fmt.Fprintf(&b, "tick window (%d samples): p50 %.2fms  p95 %.2fms  p99 %.2fms\n",

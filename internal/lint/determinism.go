@@ -10,8 +10,9 @@ import (
 
 // determinismScope lists the packages whose outputs must replay
 // byte-identically: the simulator, schedulers, routing state, serving
-// sessions, autoscalers, scenario engine, workload generation and the
-// experiment layer. Wall clocks and global RNGs anywhere in these
+// sessions, autoscalers, scenario engine, workload generation, the
+// experiment layer and the telemetry aggregations (whose JSONL exports
+// are byte-diffed in CI). Wall clocks and global RNGs anywhere in these
 // packages (or their subpackages) would corrupt replay determinism.
 // Fixture packages under a testdata directory are always in scope so
 // the analyzer can be exercised by golden tests and seeded-violation
@@ -25,6 +26,7 @@ var determinismScope = []string{
 	"repro/internal/scenario",
 	"repro/internal/workload",
 	"repro/internal/exp",
+	"repro/internal/telemetry",
 }
 
 func determinismInScope(path string) bool {

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var floatorderAnalyzer = &Analyzer{
+	Name: "floatorder",
+	Doc: "no float fold over a slice filled inside a map range without a " +
+		"later sort; the sum inherits the unspecified iteration order",
+	Run: runFloatOrder,
+}
+
+// runFloatOrder covers the gap the determinism analyzer's map-range
+// check leaves open: that check flags the append site, this one flags
+// the downstream consumption — a later `range` over the map-ordered
+// slice that folds values into a float accumulator. Float addition is
+// not associative, so even though the slice's *contents* are
+// order-independent as a set, the folded sum is not, and aggregate
+// statistics (means, totals, decompositions) silently diverge between
+// replays. The collect-then-sort idiom (sort the slice between the two
+// ranges) clears the taint, exactly as it exempts the append check.
+func runFloatOrder(p *Package) []Finding {
+	if !determinismInScope(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkFloatOrder(p, fd)...)
+		}
+	}
+	return out
+}
+
+// mapOrderTaint marks one slice identifier as carrying map iteration
+// order: it was appended to inside a range over a map ending at end,
+// with no sort/slices call over it later in the function.
+type mapOrderTaint struct {
+	name string
+	end  token.Pos
+}
+
+// checkFloatOrder runs the two-pass taint analysis over one function.
+// Pass 1 collects the tainted slice identifiers; pass 2 flags every
+// later range over a tainted slice whose body accumulates into a float
+// with a compound assignment (+=, -=, *=, /=).
+func checkFloatOrder(p *Package, fd *ast.FuncDecl) []Finding {
+	var tainted []mapOrderTaint
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isAppendCall(call) || i >= len(as.Lhs) {
+					continue
+				}
+				id := rootIdent(as.Lhs[i])
+				if id == nil || sortedAfter(p, fd, rs, id.Name) {
+					continue
+				}
+				tainted = append(tainted, mapOrderTaint{name: id.Name, end: rs.End()})
+			}
+			return true
+		})
+		return true
+	})
+	if len(tainted) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+			return true
+		}
+		id := rootIdent(rs.X)
+		if id == nil {
+			return true
+		}
+		carried := false
+		for _, taint := range tainted {
+			if taint.name == id.Name && rs.Pos() > taint.end {
+				carried = true
+			}
+		}
+		if !carried || !foldsFloat(p, rs.Body) {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:      p.pos(rs),
+			Analyzer: "floatorder",
+			Message: fmt.Sprintf("float fold over %q inherits map iteration order (the slice "+
+				"was appended to inside a map range with no later sort); float addition is "+
+				"order-dependent, so sort %q between the collect and the fold, or iterate "+
+				"sorted keys", id.Name, id.Name),
+		})
+		return true
+	})
+	return out
+}
+
+// foldsFloat reports whether the block accumulates into a float lvalue
+// with a compound assignment.
+func foldsFloat(p *Package, body *ast.BlockStmt) bool {
+	folds := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if folds {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if lt := p.Info.TypeOf(as.Lhs[0]); lt != nil && isFloat(lt) {
+				folds = true
+			}
+		}
+		return !folds
+	})
+	return folds
+}

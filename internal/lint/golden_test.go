@@ -41,6 +41,7 @@ func TestGoldenFixtures(t *testing.T) {
 	}{
 		{"determinism", "testdata/src/determinism"},
 		{"expgolden", "testdata/src/expgolden"},
+		{"floatorder", "testdata/src/floatorder"},
 		{"facadeimport", "testdata/src/facade/cmd/app"},
 		{"registryonce", "testdata/src/registryonce"},
 		{"errdrop", "testdata/src/errdrop"},

@@ -59,6 +59,7 @@ func Analyzers() []*Analyzer {
 	all := []*Analyzer{
 		determinismAnalyzer,
 		expGoldenAnalyzer,
+		floatorderAnalyzer,
 		facadeImportAnalyzer,
 		registryOnceAnalyzer,
 		errDropAnalyzer,

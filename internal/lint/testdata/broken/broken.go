@@ -23,3 +23,17 @@ func init() {
 	// "unlisted" is missing from experiments.golden on purpose.
 	register(Experiment{ID: "unlisted"})
 }
+
+// MeanScore folds a map-ordered slice into a float on purpose, so the
+// floatorder tripwire has a violation to flag.
+func MeanScore(scores map[string]float64) float64 {
+	var vals []float64
+	for _, v := range scores {
+		vals = append(vals, v)
+	}
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total / float64(len(vals))
+}

@@ -1,0 +1,84 @@
+// Package floatorder seeds the floatorder analyzer's golden cases: a
+// float fold over a map-ordered slice (the violation), the
+// collect-then-sort exemption, a fold over a slice with a
+// deterministic source (which must stay silent), an integer fold over
+// a map-ordered slice (also silent — integer addition is associative),
+// and one justified suppression.
+package floatorder
+
+import "sort"
+
+// meanUnsorted trips the rule: vals carries map iteration order out of
+// the first range, and the second range folds it into a float sum.
+func meanUnsorted(byReq map[int]float64) float64 {
+	var vals []float64
+	for _, v := range byReq {
+		vals = append(vals, v)
+	}
+	total := 0.0
+	for _, v := range vals { // want floatorder: float fold over "vals" inherits map iteration order
+		total += v
+	}
+	return total / float64(len(vals))
+}
+
+// meanSorted exercises the collect-then-sort exemption: the sort
+// between the collect and the fold fixes the order, so the sum is
+// deterministic.
+func meanSorted(byReq map[int]float64) float64 {
+	var vals []float64
+	for _, v := range byReq {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total / float64(len(vals))
+}
+
+// meanFromSlice folds a slice with a deterministic source: no map range
+// ever touched vals, so the rule must stay silent.
+func meanFromSlice(in []float64) float64 {
+	var vals []float64
+	for _, v := range in {
+		vals = append(vals, v*2)
+	}
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total / float64(len(vals))
+}
+
+// countUnsorted folds integers out of a map-ordered slice: integer
+// addition is associative, so the total is order-independent and the
+// rule must stay silent (the determinism analyzer's append check still
+// covers the collection site).
+func countUnsorted(byReq map[int]int) int {
+	var vals []int
+	for _, v := range byReq {
+		vals = append(vals, v)
+	}
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// meanSuppressed documents a justified suppression: the fixture
+// pretends the caller tolerates last-bit divergence.
+func meanSuppressed(byReq map[int]float64) float64 {
+	var vals []float64
+	for _, v := range byReq {
+		vals = append(vals, v)
+	}
+	total := 0.0
+	//premalint:ignore floatorder fixture: this fold feeds a tolerance-banded comparison, not a replay artifact
+	for _, v := range vals {
+		total += v
+	}
+	return total / float64(len(vals))
+}

@@ -32,6 +32,10 @@ const (
 	// voluntary scale-down does not undo recovery. It passes vacuously
 	// when the scenario injects no disruption.
 	AssertRecoveredBy
+	// AssertTierSLO bounds one hardware tier's SLO-violation fraction:
+	// tier <name> slo_violation_frac < Max. It requires a scaler and a
+	// tiered fleet template naming the tier.
+	AssertTierSLO
 )
 
 // Assertion is one pass/fail condition of a scenario.
@@ -45,6 +49,8 @@ type Assertion struct {
 	From, To time.Duration
 	// By is AssertRecoveredBy's deadline.
 	By time.Duration
+	// Tier is AssertTierSLO's tier name.
+	Tier string
 }
 
 // String renders the assertion in the scenario text form.
@@ -56,6 +62,8 @@ func (a Assertion) String() string {
 		return fmt.Sprintf("assert fleet between %d %d during %s %s", a.Lo, a.Hi, a.From, a.To)
 	case AssertRecoveredBy:
 		return fmt.Sprintf("assert recovered_by %s", a.By)
+	case AssertTierSLO:
+		return fmt.Sprintf("assert tier %s slo_violation_frac < %g", a.Tier, a.Max)
 	default:
 		return fmt.Sprintf("assert <unknown kind %d>", int(a.Kind))
 	}
@@ -81,6 +89,27 @@ func (a Assertion) validate(sc *Scenario) error {
 	case AssertRecoveredBy:
 		if a.By <= 0 {
 			return fmt.Errorf("non-positive deadline %v", a.By)
+		}
+	case AssertTierSLO:
+		if sc.Scaler == "" {
+			return fmt.Errorf("tier slo_violation_frac needs a scaler (the SLO defines the fraction)")
+		}
+		if a.Max <= 0 || a.Max > 1 {
+			return fmt.Errorf("violation bound %v outside (0, 1]", a.Max)
+		}
+		if sc.Fleet.Tiers == "" {
+			return fmt.Errorf("tier assertion %q needs a tiered fleet (fleet tiers=...)", a.Tier)
+		}
+		specs, err := serving.ParseFleetTemplate(sc.Fleet.Tiers)
+		if err != nil {
+			return err
+		}
+		found := false
+		for _, s := range specs {
+			found = found || s.Name == a.Tier
+		}
+		if !found {
+			return fmt.Errorf("tier %q not in fleet template %q", a.Tier, sc.Fleet.Tiers)
 		}
 	default:
 		return fmt.Errorf("unknown assertion kind %d", int(a.Kind))
@@ -126,6 +155,8 @@ func (sc *Scenario) evaluate(run *runResult) []AssertResult {
 			res.Pass, res.Detail = evalFleetBetween(a, run)
 		case AssertRecoveredBy:
 			res.Pass, res.Detail = evalRecoveredBy(a, run)
+		case AssertTierSLO:
+			res.Pass, res.Detail = evalTierSLO(a, run)
 		}
 		out[i] = res
 	}
@@ -156,6 +187,25 @@ func evalFleetBetween(a Assertion, run *runResult) (bool, string) {
 		}
 	}
 	return true, fmt.Sprintf("fleet stayed in [%d, %d] over [%s, %s]", a.Lo, a.Hi, a.From, a.To)
+}
+
+// evalTierSLO checks one tier's realized SLO-violation fraction against
+// the bound. Validation pinned the tier to the fleet template, so a
+// missing breakdown means the tier served nothing measurable — reported
+// as a vacuous pass with the reason.
+func evalTierSLO(a Assertion, run *runResult) (bool, string) {
+	for _, t := range run.stats.Tiers {
+		if t.Tier != a.Tier {
+			continue
+		}
+		if t.Measured == 0 {
+			return true, fmt.Sprintf("tier %s measured no requests (vacuous)", a.Tier)
+		}
+		got := t.SLOViolationFrac
+		return got < a.Max, fmt.Sprintf("tier %s violation fraction %.4f over %d measured (bound %g)",
+			a.Tier, got, t.Measured, a.Max)
+	}
+	return true, fmt.Sprintf("tier %s measured no requests (vacuous)", a.Tier)
 }
 
 // evalRecoveredBy checks whether the fleet returned to its size just

@@ -18,6 +18,7 @@ package scenario
 //	at <duration> fail|restore|cordon|uncordon npu<i>
 //	at <duration> slowdown npu<i> x<factor>
 //	assert slo_violation_frac < <f>
+//	assert tier <name> slo_violation_frac < <f>
 //	assert fleet between <lo> <hi> during <from> <to>
 //	assert recovered_by <duration>
 //
@@ -291,12 +292,21 @@ func (sc *Scenario) parseEvent(args []string) error {
 	return nil
 }
 
-// parseAssert reads the three assertion forms.
+// parseAssert reads the four assertion forms.
 func (sc *Scenario) parseAssert(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: assert slo_violation_frac|fleet|recovered_by ...")
+		return fmt.Errorf("usage: assert slo_violation_frac|tier|fleet|recovered_by ...")
 	}
 	switch args[0] {
+	case "tier":
+		if len(args) != 5 || args[2] != "slo_violation_frac" || args[3] != "<" {
+			return fmt.Errorf("usage: assert tier <name> slo_violation_frac < <f>")
+		}
+		v, err := strconv.ParseFloat(args[4], 64)
+		if err != nil {
+			return fmt.Errorf("bad violation bound %q: %w", args[4], err)
+		}
+		sc.Asserts = append(sc.Asserts, Assertion{Kind: AssertTierSLO, Tier: args[1], Max: v})
 	case "slo_violation_frac":
 		if len(args) != 3 || args[1] != "<" {
 			return fmt.Errorf("usage: assert slo_violation_frac < <f>")
@@ -339,7 +349,7 @@ func (sc *Scenario) parseAssert(args []string) error {
 		}
 		sc.Asserts = append(sc.Asserts, Assertion{Kind: AssertRecoveredBy, By: by})
 	default:
-		return fmt.Errorf("unknown assertion %q (known: slo_violation_frac fleet recovered_by)", args[0])
+		return fmt.Errorf("unknown assertion %q (known: slo_violation_frac tier fleet recovered_by)", args[0])
 	}
 	return nil
 }

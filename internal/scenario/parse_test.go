@@ -134,6 +134,20 @@ func TestParseErrors(t *testing.T) {
 		{"unknown model", valid + "models CNN-XX\n", "CNN-XX"},
 		{"warmup out of range", valid + "warmup 1.5\n", "warmup"},
 		{"slo assert without scaler", valid + "assert slo_violation_frac < 0.5\n", "scaler"},
+		{"tier assert malformed", valid + "assert tier fast latency < 0.5\n", "line 5"},
+		{"tier assert without scaler", valid + "assert tier fast slo_violation_frac < 0.5\n", "scaler"},
+		{"tier assert untiered fleet",
+			"scenario s\nfleet initial=2 min=1 max=4\nscaler queue-depth slo=8ms\nsegment 10ms\nload 1\n" +
+				"assert tier fast slo_violation_frac < 0.5\n",
+			"needs a tiered fleet"},
+		{"tier assert unknown tier",
+			"scenario s\nfleet initial=2 min=2 max=4 tiers=50%:fast,50%:slow\nscaler queue-depth slo=8ms\nsegment 10ms\nload 1\n" +
+				"assert tier turbo slo_violation_frac < 0.5\n",
+			`tier "turbo" not in fleet template`},
+		{"tier assert bound out of range",
+			"scenario s\nfleet initial=2 min=2 max=4 tiers=50%:fast,50%:slow\nscaler queue-depth slo=8ms\nsegment 10ms\nload 1\n" +
+				"assert tier fast slo_violation_frac < 1.5\n",
+			"outside (0, 1]"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -145,6 +159,24 @@ func TestParseErrors(t *testing.T) {
 				t.Fatalf("error = %q, want substring %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestParseTierAssert: the per-tier SLO assertion parses against a
+// tiered fleet and carries the tier name and bound.
+func TestParseTierAssert(t *testing.T) {
+	sc, err := Parse("scenario s\nfleet initial=2 min=2 max=4 tiers=70%:fast,30%:slow\n" +
+		"scaler queue-depth slo=8ms\nsegment 10ms\nload 1\n" +
+		"assert tier slow slo_violation_frac < 0.4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Asserts) != 1 {
+		t.Fatalf("asserts = %d, want 1", len(sc.Asserts))
+	}
+	a := sc.Asserts[0]
+	if a.Kind != AssertTierSLO || a.Tier != "slow" || a.Max != 0.4 {
+		t.Errorf("tier assert = %+v, want kind=AssertTierSLO tier=slow max=0.4", a)
 	}
 }
 
@@ -160,6 +192,8 @@ func TestAssertionString(t *testing.T) {
 			"assert fleet between 1 6 during 0s 200ms"},
 		{Assertion{Kind: AssertRecoveredBy, By: 160 * time.Millisecond},
 			"assert recovered_by 160ms"},
+		{Assertion{Kind: AssertTierSLO, Tier: "slow", Max: 0.4},
+			"assert tier slow slo_violation_frac < 0.4"},
 	}
 	for _, tc := range cases {
 		if got := tc.a.String(); got != tc.want {

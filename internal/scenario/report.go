@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/serving"
+	"repro/internal/telemetry"
 )
 
 // TimelineEntry is one fleet-timeline event on the wall clock.
@@ -64,6 +65,14 @@ type Report struct {
 	Asserts []AssertResult
 	// Summary is the served statistics.
 	Summary Summary
+	// Tiers is the per-tier statistics breakdown; nil on homogeneous
+	// fleets.
+	Tiers []serving.TierStats
+	// Events is the merged per-request trace and Samples the tick-metric
+	// series of a traced run (RunWithTrace); both nil otherwise. Render
+	// ignores them — the ASCII transcript is byte-identical either way.
+	Events  []telemetry.Event
+	Samples []telemetry.TickSample
 }
 
 // buildReport derives the report from a finished run.
@@ -100,6 +109,7 @@ func buildReport(run *runResult) *Report {
 		r.Summary.SLOLatencyMS = st.Scaling.SLOLatencyMS
 		r.Summary.SLOViolationFrac = st.Scaling.SLOViolationFrac
 	}
+	r.Tiers = st.Tiers
 	return r
 }
 

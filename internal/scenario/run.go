@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/serving"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -34,7 +35,18 @@ func (r *runResult) millis(c int64) float64       { return r.srv.NPU().Millis(c)
 // configuration. A failed assertion fails the report (Report.Passed),
 // not the run; Run errors only on invalid scenarios or a run the
 // session itself rejects (a wiped-out fleet, a misdirected operation).
-func Run(srv *serving.Server, sc *Scenario) (rep *Report, rerr error) {
+func Run(srv *serving.Server, sc *Scenario) (*Report, error) {
+	return RunWithTrace(srv, sc, nil)
+}
+
+// RunWithTrace executes one scenario with a telemetry handle attached
+// to the node session: the report additionally carries the merged
+// per-request trace (Report.Events, when tr.Tracer is set) and the
+// tick-metric series (Report.Samples, when tr.Recorder is set and the
+// scenario has a scaler — samples land on the autoscale tick). A nil tr
+// is exactly Run: the simulated stream is identical either way, only
+// observed.
+func RunWithTrace(srv *serving.Server, sc *Scenario, tr *telemetry.Trace) (rep *Report, rerr error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,6 +71,7 @@ func Run(srv *serving.Server, sc *Scenario) (rep *Report, rerr error) {
 		NPUs:    sc.Fleet.Initial,
 		Fleet:   tiers,
 		Routing: sc.Routing,
+		Trace:   tr,
 		Session: serving.SessionConfig{
 			Policy:         sc.Policy,
 			Preemptive:     sc.Preemptive,
@@ -111,5 +124,18 @@ func Run(srv *serving.Server, sc *Scenario) (rep *Report, rerr error) {
 	}
 
 	run := &runResult{sc: sc, srv: srv, events: ns.Timeline(), stats: st, n: n}
-	return buildReport(run), nil
+	rep = buildReport(run)
+	// Harvest the telemetry before the deferred Close seals the session —
+	// trace assembly refreshes backends, which a closed session refuses.
+	if tr != nil && tr.Tracer != nil {
+		events, err := ns.TraceEvents()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		rep.Events = events
+	}
+	if tr != nil && tr.Recorder != nil {
+		rep.Samples = tr.Recorder.Samples()
+	}
+	return rep, nil
 }

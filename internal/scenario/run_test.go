@@ -12,6 +12,7 @@ import (
 	"repro/internal/npu"
 	"repro/internal/sched"
 	"repro/internal/serving"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -210,6 +211,96 @@ func TestNoEventScenarioMatchesPlainRun(t *testing.T) {
 	}
 }
 
+// tieredScenario is a 50/50 two-tier fleet under a moderate ramp with
+// a per-tier SLO assertion on each tier.
+func tieredScenario() *Scenario {
+	return &Scenario{
+		Name:       "tiered-probe",
+		Fleet:      Fleet{Initial: 4, Min: 2, Max: 8, Tiers: "50%:fast,50%:slow"},
+		Routing:    cluster.LeastWork,
+		Policy:     "PREMA",
+		Preemptive: true,
+		Scaler:     "queue-depth",
+		SLO:        8 * time.Millisecond,
+		Models:     append([]string(nil), defaultModels...),
+		Seed:       23,
+		Segment:    40 * time.Millisecond,
+		Load:       []float64{1, 2, 1},
+		Asserts: []Assertion{
+			{Kind: AssertTierSLO, Tier: "fast", Max: 1},
+			{Kind: AssertTierSLO, Tier: "slow", Max: 1},
+		},
+	}
+}
+
+// TestTracedRunObservesOnly: RunWithTrace must render the identical
+// report as Run — telemetry observes the stream, never perturbs it —
+// while additionally carrying the trace events, tick samples and tier
+// breakdown.
+func TestTracedRunObservesOnly(t *testing.T) {
+	plain, err := Run(newServer(t), tieredScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.New()
+	traced, err := RunWithTrace(newServer(t), tieredScenario(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Render() != traced.Render() {
+		t.Errorf("tracing changed the rendered report:\n--- plain\n%s\n--- traced\n%s",
+			plain.Render(), traced.Render())
+	}
+	if len(plain.Events) != 0 || len(plain.Samples) != 0 {
+		t.Errorf("untraced run carries telemetry: %d events, %d samples",
+			len(plain.Events), len(plain.Samples))
+	}
+	if len(traced.Events) == 0 || len(traced.Samples) == 0 {
+		t.Fatalf("traced run carries no telemetry: %d events, %d samples",
+			len(traced.Events), len(traced.Samples))
+	}
+	if len(traced.Tiers) != 2 {
+		t.Fatalf("tiered run reports %d tier breakdowns, want 2", len(traced.Tiers))
+	}
+	for _, a := range traced.Asserts {
+		if !strings.HasPrefix(a.Expr, "assert tier ") {
+			t.Errorf("assert expr %q, want the tier form", a.Expr)
+		}
+		if !a.Pass {
+			t.Errorf("tier assert %q failed: %s", a.Expr, a.Detail)
+		}
+	}
+}
+
+// TestEvalTierSLO pins the tier assertion's three outcomes against a
+// fabricated tier breakdown: pass under the bound, fail over it, and a
+// vacuous pass when the tier measured nothing.
+func TestEvalTierSLO(t *testing.T) {
+	run := &runResult{stats: serving.NodeStats{Tiers: []serving.TierStats{
+		{Tier: "fast", Measured: 100, SLOViolationFrac: 0.05},
+		{Tier: "slow", Measured: 40, SLOViolationFrac: 0.5},
+		{Tier: "idle", Measured: 0},
+	}}}
+	cases := []struct {
+		tier   string
+		max    float64
+		pass   bool
+		detail string
+	}{
+		{"fast", 0.1, true, "violation fraction 0.0500"},
+		{"slow", 0.2, false, "violation fraction 0.5000"},
+		{"idle", 0.2, true, "vacuous"},
+		{"ghost", 0.2, true, "vacuous"},
+	}
+	for _, tc := range cases {
+		pass, detail := evalTierSLO(Assertion{Kind: AssertTierSLO, Tier: tc.tier, Max: tc.max}, run)
+		if pass != tc.pass || !strings.Contains(detail, tc.detail) {
+			t.Errorf("tier %s bound %g: pass=%v detail=%q, want pass=%v detail containing %q",
+				tc.tier, tc.max, pass, detail, tc.pass, tc.detail)
+		}
+	}
+}
+
 // TestWipeOutSurfaces: failing the only backend of a fixed fleet is a
 // run error (the guard refuses to wipe the node out), not a report.
 func TestWipeOutSurfaces(t *testing.T) {
@@ -246,7 +337,7 @@ func TestCorpusGreen(t *testing.T) {
 	}
 	ran := 0
 	for _, e := range entries {
-		if filepath.Ext(e.Name()) != ".txt" {
+		if ext := filepath.Ext(e.Name()); ext != ".txt" && ext != ".scn" {
 			continue
 		}
 		ran++

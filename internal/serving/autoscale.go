@@ -194,6 +194,7 @@ func (ns *NodeSession) evaluate(at int64) error {
 	// keeps the most recent estWindow estimates). Copying into the
 	// reused scratch buffer and sorting that in place costs the routing
 	// hot path nothing per request.
+	window := 0
 	if n := ns.estCount - sc.winStart; n > 0 {
 		if n > estWindow {
 			n = estWindow
@@ -206,12 +207,24 @@ func (ns *NodeSession) evaluate(at int64) error {
 		for k := 0; k < n; k++ {
 			sc.scratch = append(sc.scratch, ns.estRing[(start+k)%estWindow])
 		}
+		window = n
 		sc.lastEstP95 = stats.PercentileInPlace(sc.scratch, 95)
 	} else {
 		sc.lastEstP95 *= 0.7
 	}
 	sc.winStart = ns.estCount
 	est := sc.lastEstP95
+	if rec := ns.recorder(); rec != nil {
+		// Estimate-SLO violations this tick; the scratch window is already
+		// sorted, but a linear count keeps the logic order-free.
+		estViolations := 0
+		for _, e := range sc.scratch[:window] {
+			if e > sc.sloMS {
+				estViolations++
+			}
+		}
+		ns.sampleTick(rec, at, est, window, estViolations)
+	}
 	delta := int(sc.policy.Decide(autoscale.Metrics{
 		Now:             at,
 		Active:          ns.state.Active(),
@@ -257,11 +270,31 @@ func (ns *NodeSession) evaluate(at int64) error {
 // drainVictim picks the backend a scale-down retires: the routable one
 // with the least fluid backlog at the tick (its drain completes
 // soonest); ties prefer the highest index, so the newest backend goes
-// first.
+// first. On a heterogeneous fleet the victim comes from the tier
+// furthest above its template weight (autoscale.PickRetireTier — the
+// inverse of the scale-up rule), so a long drawdown keeps the live mix
+// proportioned instead of skewing toward whichever tier happens to run
+// emptiest.
 func (ns *NodeSession) drainVictim(at int64) int {
+	if ns.tiers != nil {
+		if t := autoscale.PickRetireTier(ns.tierWeights, ns.tierCounts()); t >= 0 {
+			if v := ns.drainVictimIn(at, t); v >= 0 {
+				return v
+			}
+		}
+	}
+	return ns.drainVictimIn(at, -1)
+}
+
+// drainVictimIn is drainVictim restricted to one tier (-1 scans the
+// whole fleet).
+func (ns *NodeSession) drainVictimIn(at int64, tier int) int {
 	best, bestBacklog := -1, int64(1<<62)
 	for i := range ns.backends {
 		if !ns.state.Routable(i) {
+			continue
+		}
+		if tier >= 0 && ns.tierOf[i] != tier {
 			continue
 		}
 		if b := ns.state.Backlog(i, at); b < bestBacklog || (b == bestBacklog && i > best) {

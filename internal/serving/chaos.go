@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/npu"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -329,11 +330,18 @@ func (ns *NodeSession) failNPU(i int, at int64) error {
 		delta = -1
 	}
 	ns.record(at, "fail", i, delta, fmt.Sprintf("reclaimed %d", len(reclaimed)))
+	ns.reclaims += len(reclaimed)
 	// The lost backend's stream shrank without a new submission, so the
 	// node-level stats memo must not answer from the old stream.
 	ns.statsValid = false
 	ns.statsAt = -1
 	for _, t := range reclaimed {
+		if tr := ns.tracer(); tr != nil {
+			tr.Record(telemetry.Event{
+				Cycle: at, Kind: telemetry.KindReclaim,
+				Req: t.TraceID, NPU: i, Tier: ns.tierName(i),
+			})
+		}
 		if orig, ok := ns.stretchOrig[t]; ok {
 			// A stretched instance sheds its slowdown when it leaves
 			// the slowed backend; the new target applies its own.
@@ -358,6 +366,7 @@ func rearrive(t *workload.Task, at int64) *workload.Task {
 		ModelRef: t.ModelRef,
 		InLen:    t.InLen, ActualOut: t.ActualOut, PredictedOut: t.PredictedOut,
 		Program: t.Program,
+		TraceID: t.TraceID,
 	}
 }
 
@@ -391,6 +400,7 @@ func (ns *NodeSession) stretched(t *workload.Task, factor float64) *workload.Tas
 		ModelRef: t.ModelRef,
 		InLen:    t.InLen, ActualOut: t.ActualOut, PredictedOut: t.PredictedOut,
 		Program: sp,
+		TraceID: t.TraceID,
 	}
 	if ns.stretchOrig == nil {
 		ns.stretchOrig = map[*workload.Task]*workload.Task{}

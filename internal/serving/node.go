@@ -28,6 +28,7 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/npu"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -59,6 +60,11 @@ type NodeConfig struct {
 	// in-flight work). Long-lived sessions — the control plane — set it;
 	// batch runs that schedule all chaos up front don't need to.
 	TrackWork bool
+	// Trace attaches the telemetry layer: per-request lifecycle events
+	// into Trace.Tracer and one fleet sample per autoscale tick into
+	// Trace.Recorder (see internal/telemetry). Nil disables both, and a
+	// disabled node runs byte-identically to one without the field.
+	Trace *telemetry.Trace
 }
 
 // NodeStats aggregates a node session's stream: node-wide steady-state
@@ -79,6 +85,10 @@ type NodeStats struct {
 	// scale events, SLO-violation fraction); nil unless a scaler is
 	// attached.
 	Scaling *ScalingStats
+	// Tiers breaks the aggregate down per hardware tier, in template
+	// order; nil on homogeneous fleets, so their stats are unchanged by
+	// the field's existence.
+	Tiers []TierStats
 }
 
 // NodeSession is an open node-level serving endpoint: one streaming
@@ -131,6 +141,22 @@ type NodeSession struct {
 	// tick-window percentile source; estCount is the total ever pushed.
 	estRing  []float64
 	estCount int
+
+	// trace is the attached telemetry layer (nil when disabled):
+	// traceNext numbers submissions with stable per-request IDs,
+	// reclaims counts failure reclaims cumulatively, and lastCompleted/
+	// lastReclaims anchor the tick sample's counter deltas. tierSyms
+	// pre-interns the tier names (one Sym per tier, template order) and
+	// modelSyms caches model-name Syms indexed by the task's small
+	// generator-assigned ModelID, so the per-submit recording path
+	// never compares strings.
+	trace         *telemetry.Trace
+	traceNext     int
+	reclaims      int
+	lastCompleted int
+	lastReclaims  int
+	tierSyms      []telemetry.Sym
+	modelSyms     []telemetry.Sym
 
 	lastArrival int64
 	submitted   int
@@ -223,6 +249,17 @@ func (s *Server) OpenNode(cfg NodeConfig) (*NodeSession, error) {
 			return nil, err
 		}
 	}
+	if cfg.Trace != nil {
+		ns.trace = cfg.Trace
+		if tr := ns.trace.Tracer; tr != nil {
+			for _, b := range ns.backends {
+				b.traced = true
+			}
+			for _, tier := range ns.tiers {
+				ns.tierSyms = append(ns.tierSyms, tr.InternTier(tier.Name))
+			}
+		}
+	}
 	ns.record(0, "start", -1, 0, "")
 	return ns, nil
 }
@@ -258,6 +295,11 @@ func (ns *NodeSession) Submit(t *workload.Task) error {
 	if err := ns.advanceTo(t.Arrival); err != nil {
 		return err
 	}
+	if tr := ns.tracer(); tr != nil {
+		t.TraceID = ns.traceNext
+		ns.traceNext++
+		tr.RecordSubmit(t.Arrival, t.TraceID, ns.modelSym(tr, t))
+	}
 	if err := ns.route(t); err != nil {
 		return err
 	}
@@ -272,8 +314,10 @@ func (ns *NodeSession) Submit(t *workload.Task) error {
 // speed before it queues.
 func (ns *NodeSession) route(t *workload.Task) error {
 	target := ns.router.Decide(t, ns.state)
+	factor := 1.0
 	if ns.speed[target] > 1 {
-		t = ns.stretched(t, ns.speed[target])
+		factor = ns.speed[target]
+		t = ns.stretched(t, factor)
 	}
 	if err := ns.backends[target].Submit(t); err != nil {
 		return err
@@ -285,6 +329,12 @@ func (ns *NodeSession) route(t *workload.Task) error {
 	est := ns.srv.cfg.Millis(ns.state.FreeAt(target) - t.Arrival)
 	ns.estRing[ns.estCount%estWindow] = est
 	ns.estCount++
+	if tr := ns.tracer(); tr != nil {
+		tr.RecordRoute(t.Arrival, t.TraceID, target, ns.tierSym(target), est)
+		if factor > 1 {
+			tr.RecordStretch(t.Arrival, t.TraceID, target, ns.tierSym(target), factor)
+		}
+	}
 	return nil
 }
 
@@ -490,6 +540,9 @@ func (ns *NodeSession) addBackend(tier int) error {
 	if err != nil {
 		return err
 	}
+	if ns.tracer() != nil {
+		b.traced = true
+	}
 	sp := 1.0
 	if tier >= 0 {
 		sp = ns.tierSpeed[tier]
@@ -624,6 +677,10 @@ func (ns *NodeSession) Stats() (NodeStats, error) {
 	}
 	out := NodeStats{PerNPU: make([]BatchStats, len(ns.backends))}
 	var merged sampleSet
+	var tierSets []sampleSet
+	if ns.tiers != nil {
+		tierSets = make([]sampleSet, len(ns.tiers))
+	}
 	for i, b := range ns.backends {
 		if len(b.reqs) == 0 {
 			continue
@@ -632,6 +689,9 @@ func (ns *NodeSession) Stats() (NodeStats, error) {
 			return NodeStats{}, fmt.Errorf("serving: NPU %d: %w", i, err)
 		}
 		merged.merge(&b.samples)
+		if tierSets != nil {
+			tierSets[ns.tierOf[i]].merge(&b.samples)
+		}
 		// The backend memoizes its derived statistics; only re-simulated
 		// NPUs re-derive them.
 		if st, err := b.Stats(); err == nil {
@@ -650,6 +710,9 @@ func (ns *NodeSession) Stats() (NodeStats, error) {
 	out.BatchStats = agg
 	if ns.scale != nil {
 		out.Scaling = ns.scalingStats(&merged)
+	}
+	if tierSets != nil {
+		out.Tiers = ns.tierStats(tierSets)
 	}
 	ns.last = out
 	ns.statsAt = ns.submitted

@@ -69,6 +69,13 @@ type Session struct {
 	// simulations counts how many times the session actually re-ran the
 	// simulator (the incremental-stats memoization instrumentation).
 	simulations int
+	// traced makes compute retain one completion record per simulated
+	// request (set by a node session with a tracer attached); the node
+	// derives the trace's completion events from them. Only unbatched
+	// sessions retain completions — a fused dispatch has no one-to-one
+	// member completion (see NodeSession.TraceEvents).
+	traced      bool
+	completions []completionRec
 }
 
 // Open validates the scheduler configuration and opens a session.
@@ -249,6 +256,9 @@ func (ss *Session) compute() (*sampleSet, error) {
 		res, err := ss.srv.simulate(ss.cfg.Policy, ss.cfg.Preemptive, ss.cfg.Selector, fresh)
 		if err != nil {
 			return nil, err
+		}
+		if ss.traced {
+			ss.retainCompletions(res)
 		}
 		return ss.srv.collectTasks(res, ss.cut()), nil
 	}

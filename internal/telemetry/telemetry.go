@@ -1,0 +1,324 @@
+// Package telemetry is the repository's zero-dependency observability
+// layer: per-request lifecycle tracing and tick-sampled fleet metrics
+// for the streaming node session, both driven entirely by the virtual
+// stream clock. Nothing here reads wall time or iterates a map without
+// ordering, so a traced run replays byte-identically — the same seed
+// and scenario produce the same JSONL trace and the same metric series,
+// which makes telemetry output a determinism oracle as well as a
+// debugging surface.
+//
+// The package has two halves, carried together by a Trace handle:
+//
+//   - Tracer records one compact Event per request lifecycle edge
+//     (submit, route, stretch, reclaim, complete) into a fixed-size
+//     ring, so tracing a long stream holds bounded memory.
+//   - Recorder captures one TickSample per autoscale tick: per-NPU and
+//     per-tier gauges plus fleet counters (completions, reclaims,
+//     estimate-SLO violations since the previous tick).
+//
+// The serving package fills both (serving.NodeConfig.Trace); this
+// package owns the aggregation: MergeEvents orders the stream,
+// Summarize derives queue/service/stretch decompositions and the
+// worst-latency traces, and EncodeJSONL exports everything as sorted
+// JSON Lines.
+package telemetry
+
+// Event kinds, one per request lifecycle edge the node session traces.
+const (
+	// KindSubmit marks a request entering the node (NPU is -1: no
+	// routing decision has been made yet). Note carries the model name.
+	KindSubmit = "submit"
+	// KindRoute marks a routing decision: NPU and Tier identify the
+	// chosen backend and EstMS its fluid latency estimate (queueing plus
+	// service) at the decision instant.
+	KindRoute = "route"
+	// KindStretch marks a request landing on a slowed backend: its
+	// program was stretched to Factor times nominal service time.
+	KindStretch = "stretch"
+	// KindReclaim marks a request pulled back from a failed backend;
+	// the route event that follows at the same cycle is its re-route.
+	KindReclaim = "reclaim"
+	// KindComplete marks a simulated completion: LatencyMS is the
+	// realized turnaround and ServiceMS its isolated-service share.
+	KindComplete = "complete"
+)
+
+// Event is one compact per-request lifecycle record. Cycle is the
+// virtual instant (NPU cycles); Seq is the event's index in the sorted
+// export, stamped by MergeEvents. Fields that do not apply to a kind
+// are zero and omitted from the JSONL encoding.
+type Event struct {
+	// Seq is the event's position in the sorted merged stream.
+	Seq int `json:"seq"`
+	// Cycle is the virtual instant the edge occurred at.
+	Cycle int64 `json:"cycle"`
+	// AtMS is Cycle converted to milliseconds (filled at export time;
+	// the hot recording path does not pay for the conversion).
+	AtMS float64 `json:"at_ms"`
+	// Kind is the lifecycle edge (see the Kind constants).
+	Kind string `json:"kind"`
+	// Req is the node-session trace request ID, assigned in submission
+	// order and stable across re-routes.
+	Req int `json:"req"`
+	// NPU is the backend index the edge applies to; -1 on submit.
+	NPU int `json:"npu"`
+	// Tier is the backend's hardware tier; empty on homogeneous fleets.
+	Tier string `json:"tier,omitempty"`
+	// EstMS is the fluid latency estimate of a route decision.
+	EstMS float64 `json:"est_ms,omitempty"`
+	// Factor is the slowdown multiplier of a stretch edge.
+	Factor float64 `json:"factor,omitempty"`
+	// LatencyMS is the realized turnaround of a complete edge.
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+	// ServiceMS is the isolated-service share of a complete edge's
+	// latency (turnaround divided by normalized turnaround time).
+	ServiceMS float64 `json:"service_ms,omitempty"`
+	// Note carries edge detail (the model name on submit).
+	Note string `json:"note,omitempty"`
+}
+
+// DefaultEventCap is the tracer ring's default capacity.
+const DefaultEventCap = 4096
+
+// Ring-internal kind indices: the Kind constants pre-interned at fixed
+// positions in a tracer's kinds table, so the hot recording methods
+// store a constant instead of scanning.
+const (
+	kindNone = iota
+	kindSubmit
+	kindRoute
+	kindStretch
+	kindReclaim
+	kindComplete
+)
+
+// Tracer is a fixed-capacity ring of lifecycle events. Recording past
+// the capacity evicts the oldest events; Total keeps counting, so an
+// overflowing trace is detectable (Total > Len). A Tracer is not safe
+// for concurrent use — it lives inside a node session's single-threaded
+// stream loop.
+//
+// The ring stores events column-per-field (structure-of-arrays) rather
+// than as Event structs: each recording writes only the columns its
+// kind carries (a submit is 3 scalars and two bytes, not a 120-byte
+// struct), consecutive events share cache lines within each column, and
+// every column is pointer-free so the garbage collector never walks the
+// ring. Strings are interned into per-field vocabulary tables — the
+// lifecycle-kind constants, a fleet's tier names, the model catalogue —
+// and stored as indices; Events materializes full Event values on the
+// cold export path, reading back exactly the columns each kind's schema
+// defines.
+type Tracer struct {
+	cycle                         []int64
+	est, factor, latency, service []float64
+	// ids packs req (low 32 bits) and npu (high 32 bits, two's
+	// complement); meta packs the kind (low 16), tier (mid 16) and note
+	// (bits 32-47) vocabulary indices — so a hot-path event is three or
+	// four word stores, and the float columns a kind does not carry are
+	// never touched.
+	ids, meta []uint64
+	// kinds, tiers and notes are the intern tables the meta column's
+	// indices point into; index 0 is always "". Each grows with the
+	// distinct-string vocabulary (a handful of entries), never with the
+	// event count.
+	kinds, tiers, notes []string
+	// n is how many events the ring holds, w the next write slot —
+	// always total % capacity, kept incrementally so the hot path never
+	// pays an integer division.
+	n, w, total int
+}
+
+// NewTracer builds a tracer ring holding up to cap events; cap <= 0
+// selects DefaultEventCap.
+func NewTracer(cap int) *Tracer {
+	if cap <= 0 {
+		cap = DefaultEventCap
+	}
+	return &Tracer{
+		cycle: make([]int64, cap),
+		est:   make([]float64, cap), factor: make([]float64, cap),
+		latency: make([]float64, cap), service: make([]float64, cap),
+		ids: make([]uint64, cap), meta: make([]uint64, cap),
+		kinds: []string{"", KindSubmit, KindRoute, KindStretch, KindReclaim, KindComplete},
+		tiers: []string{""},
+		notes: []string{""},
+	}
+}
+
+// packIDs packs a request and backend index into one ids-column word.
+func packIDs(req, npu int) uint64 {
+	return uint64(uint32(int32(req))) | uint64(uint32(int32(npu)))<<32
+}
+
+// Sym is an interned-string handle into a tracer's vocabulary tables:
+// the hot recording methods take pre-interned Syms instead of strings,
+// so the per-event cost is column writes, never a string comparison.
+// The zero Sym is always the empty string. Syms are tracer-specific —
+// never pass one tracer's Sym to another.
+type Sym uint16
+
+// intern answers s's index in one vocabulary table, appending it on
+// first sight. A linear scan wins here: each table holds a handful of
+// entries and this runs once per distinct string, not per event.
+func intern(table *[]string, s string) uint16 {
+	if s == "" {
+		return 0
+	}
+	for i, v := range *table {
+		if v == s {
+			return uint16(i)
+		}
+	}
+	*table = append(*table, s)
+	return uint16(len(*table) - 1)
+}
+
+// InternTier pre-interns a tier name for the hot recording methods:
+// call once per distinct tier at setup, pass the Sym per event.
+func (t *Tracer) InternTier(s string) Sym { return Sym(intern(&t.tiers, s)) }
+
+// InternNote pre-interns a note value (the model name on submit
+// events) for the hot recording methods.
+func (t *Tracer) InternNote(s string) Sym { return Sym(intern(&t.notes, s)) }
+
+// slot claims the next ring slot, evicting the oldest event when full.
+func (t *Tracer) slot() int {
+	i := t.w
+	t.w++
+	if t.w == len(t.cycle) {
+		t.w = 0
+	}
+	if t.n < len(t.cycle) {
+		t.n++
+	}
+	t.total++
+	return i
+}
+
+// Record appends one event, evicting the oldest when the ring is full.
+// This is the general path — it writes every column; the per-request
+// edges that fire on every submission have dedicated methods
+// (RecordSubmit, RecordRoute, RecordStretch) that skip materializing an
+// Event and write only their kind's columns.
+func (t *Tracer) Record(e Event) {
+	i := t.slot()
+	t.cycle[i] = e.Cycle
+	t.est[i], t.factor[i] = e.EstMS, e.Factor
+	t.latency[i], t.service[i] = e.LatencyMS, e.ServiceMS
+	t.ids[i] = packIDs(e.Req, e.NPU)
+	t.meta[i] = uint64(intern(&t.kinds, e.Kind)) |
+		uint64(intern(&t.tiers, e.Tier))<<16 |
+		uint64(intern(&t.notes, e.Note))<<32
+}
+
+// RecordSubmit records a KindSubmit edge (model in Note, no routing
+// decision yet) without crossing an Event value: the hot-path variant
+// of Record for the edge every accepted request fires. The model Sym
+// comes from InternNote.
+func (t *Tracer) RecordSubmit(cycle int64, req int, model Sym) {
+	i := t.slot()
+	t.cycle[i] = cycle
+	t.ids[i] = packIDs(req, -1)
+	t.meta[i] = kindSubmit | uint64(model)<<32
+}
+
+// RecordRoute records a KindRoute edge — the other per-request hot
+// edge: the chosen backend, its tier (a Sym from InternTier) and the
+// fluid latency estimate.
+func (t *Tracer) RecordRoute(cycle int64, req, npu int, tier Sym, est float64) {
+	i := t.slot()
+	t.cycle[i] = cycle
+	t.est[i] = est
+	t.ids[i] = packIDs(req, npu)
+	t.meta[i] = kindRoute | uint64(tier)<<16
+}
+
+// RecordStretch records a KindStretch edge: the request landed on a
+// slowed backend and its program was stretched by factor.
+func (t *Tracer) RecordStretch(cycle int64, req, npu int, tier Sym, factor float64) {
+	i := t.slot()
+	t.cycle[i] = cycle
+	t.factor[i] = factor
+	t.ids[i] = packIDs(req, npu)
+	t.meta[i] = kindStretch | uint64(tier)<<16
+}
+
+// Len reports how many events the ring currently holds.
+func (t *Tracer) Len() int { return t.n }
+
+// Total reports how many events were ever recorded; Total > Len means
+// the ring evicted early events.
+func (t *Tracer) Total() int { return t.total }
+
+// Cap reports the ring's capacity.
+func (t *Tracer) Cap() int { return len(t.cycle) }
+
+// event materializes ring slot i back into the export shape. Only the
+// float columns the slot's kind carries are read — the hot recording
+// methods leave the others untouched (stale from evicted events), so
+// the standard kinds read exactly their schema; kinds beyond the
+// standard five only ever arrive via Record, which writes every column.
+func (t *Tracer) event(i int) Event {
+	kind := uint16(t.meta[i])
+	tier := uint16(t.meta[i] >> 16)
+	note := uint16(t.meta[i] >> 32)
+	e := Event{
+		Cycle: t.cycle[i], Kind: t.kinds[kind],
+		Req: int(int32(uint32(t.ids[i]))), NPU: int(int32(uint32(t.ids[i] >> 32))),
+	}
+	switch kind {
+	case kindSubmit:
+		e.Note = t.notes[note]
+	case kindRoute:
+		e.Tier, e.EstMS = t.tiers[tier], t.est[i]
+	case kindStretch:
+		e.Tier, e.Factor = t.tiers[tier], t.factor[i]
+	case kindReclaim:
+		e.Tier = t.tiers[tier]
+	case kindComplete:
+		e.Tier = t.tiers[tier]
+		e.LatencyMS, e.ServiceMS = t.latency[i], t.service[i]
+	default:
+		e.Tier, e.Note = t.tiers[tier], t.notes[note]
+		e.EstMS, e.Factor = t.est[i], t.factor[i]
+		e.LatencyMS, e.ServiceMS = t.latency[i], t.service[i]
+	}
+	return e
+}
+
+// Events returns the recorded events oldest-first as a fresh slice the
+// caller may mutate (MergeEvents does, to stamp sequence numbers).
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, t.n)
+	// When the ring has wrapped the oldest surviving event sits at the
+	// write cursor; before that, at slot zero.
+	start := 0
+	if t.total > t.n {
+		start = t.w
+	}
+	for k := 0; k < t.n; k++ {
+		i := start + k
+		if i >= len(t.cycle) {
+			i -= len(t.cycle)
+		}
+		out = append(out, t.event(i))
+	}
+	return out
+}
+
+// Trace bundles the two telemetry halves a node session fills. Either
+// half may be nil to enable only the other: a nil Tracer disables
+// per-request events, a nil Recorder disables tick sampling.
+type Trace struct {
+	// Tracer receives per-request lifecycle events; nil disables them.
+	Tracer *Tracer
+	// Recorder receives one sample per autoscale tick; nil disables
+	// sampling. Tick metrics exist only on nodes with an autoscaler
+	// attached — the tick is the sampling clock.
+	Recorder *Recorder
+}
+
+// New builds a Trace with both halves at their default capacities.
+func New() *Trace {
+	return &Trace{Tracer: NewTracer(0), Recorder: NewRecorder(0)}
+}

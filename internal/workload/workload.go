@@ -72,6 +72,17 @@ type Task struct {
 	InLen                   int
 	ActualOut, PredictedOut int
 	Program                 *npu.Program
+	// TraceID is the node session's telemetry request ID, stamped at
+	// submit time when tracing is attached (serving.NodeConfig.Trace)
+	// and carried across stretching and failure re-routes so one
+	// request's lifecycle events correlate. Zero when tracing is off.
+	TraceID int
+	// ModelID is a small generator-local integer naming the task's
+	// model, assigned from 1 in first-use order (0 = unknown, for tasks
+	// built outside a Generator). The telemetry hot path uses it as an
+	// array index to resolve the model's interned name without touching
+	// the string; it has no meaning across generators.
+	ModelID int
 }
 
 // Generator builds workloads against one NPU configuration, compiling
@@ -99,6 +110,9 @@ type Generator struct {
 	// estCache memoizes analytic estimates by the same key shape
 	// (predicted output length).
 	estCache map[progKey]int64
+	// modelIDs assigns each distinct model name a small 1-based integer
+	// in first-use order (Task.ModelID); also guarded by mu.
+	modelIDs map[string]int
 }
 
 type progKey struct {
@@ -217,9 +231,26 @@ func (g *Generator) Instance(id int, m *dnn.Model, batch int, prio sched.Priorit
 	return &Task{
 		Task:     st,
 		ModelRef: m,
+		ModelID:  g.modelID(m.Name),
 		InLen:    inLen, ActualOut: actualOut, PredictedOut: predictedOut,
 		Program: prog,
 	}, nil
+}
+
+// modelID answers the generator-local 1-based integer for a model
+// name, assigning one on first use.
+func (g *Generator) modelID(name string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.modelIDs == nil {
+		g.modelIDs = make(map[string]int)
+	}
+	id, ok := g.modelIDs[name]
+	if !ok {
+		id = len(g.modelIDs) + 1
+		g.modelIDs[name] = id
+	}
+	return id
 }
 
 // InstanceByName is Instance with model lookup by workload label and the

@@ -63,6 +63,13 @@ type NodeSessionConfig struct {
 	// weight. Closed-loop clients (OfferClients) bypass the router and
 	// are rejected on tiered nodes. Empty keeps the fleet homogeneous.
 	Fleet string
+	// Trace attaches a telemetry handle (NewTelemetry): per-request
+	// lifecycle events through the Tracer half, tick-sampled fleet
+	// metrics through the Recorder half (samples land on the autoscale
+	// tick, so they require Autoscale). nil disables both; a session
+	// without a handle runs byte-identically to one predating the
+	// telemetry layer.
+	Trace *Telemetry
 }
 
 // NodeSessionStats are a node session's steady-state statistics: the
@@ -79,7 +86,13 @@ type NodeSessionStats struct {
 	// Scaling is the autoscaler's timeline view; nil unless the session
 	// was opened with an AutoscaleConfig.
 	Scaling *ScalingStats
+	// Tiers is the per-hardware-tier statistics breakdown, in template
+	// order; nil on homogeneous fleets.
+	Tiers []TierStats
 }
+
+// TierStats is one hardware tier's slice of the node statistics.
+type TierStats = serving.TierStats
 
 // ScalingStats is an autoscaled node session's fleet timeline.
 type ScalingStats struct {
@@ -162,6 +175,7 @@ func (s *System) OpenNode(cfg NodeSessionConfig) (*NodeSession, error) {
 		Fleet:     tiers,
 		Routing:   routing,
 		Autoscale: scale,
+		Trace:     cfg.Trace,
 		Session: serving.SessionConfig{
 			Policy:         string(cfg.Scheduler.Policy),
 			Preemptive:     cfg.Scheduler.Preemptive,
@@ -306,6 +320,14 @@ func (ns *NodeSession) Drain() (NodeSessionStats, error) {
 // Close seals the node session. Close is idempotent.
 func (ns *NodeSession) Close() error { return ns.inner.Close() }
 
+// TraceEvents assembles the node's merged per-request trace: the
+// recorded lifecycle events plus one completion event per simulated
+// request, cycle-sorted and sequence-stamped. It errors unless the
+// session was opened with a Telemetry handle whose Tracer is attached.
+func (ns *NodeSession) TraceEvents() ([]TraceEvent, error) {
+	return ns.inner.TraceEvents()
+}
+
 func (ns *NodeSession) flattenNodeStats(st serving.NodeStats) NodeSessionStats {
 	out := NodeSessionStats{
 		SessionStats: flattenStats(st.BatchStats),
@@ -328,5 +350,6 @@ func (ns *NodeSession) flattenNodeStats(st serving.NodeStats) NodeSessionStats {
 		}
 		out.Scaling = sc
 	}
+	out.Tiers = st.Tiers
 	return out
 }

@@ -76,6 +76,8 @@ const (
 	// AssertRecoveredBy requires the fleet back at its pre-disruption
 	// size by a deadline.
 	AssertRecoveredBy = scenario.AssertRecoveredBy
+	// AssertTierSLO bounds one hardware tier's SLO-violation fraction.
+	AssertTierSLO = scenario.AssertTierSLO
 )
 
 // Scenario routing values (NodeRouting); the typed Routing identifiers
@@ -101,4 +103,15 @@ func ParseScenario(src string) (*Scenario, error) {
 func (s *System) RunScenario(sc *Scenario) (*ScenarioReport, error) {
 	srv := serving.NewServer(s.opt.NPU, s.opt.Sched, s.gen)
 	return scenario.Run(srv, sc)
+}
+
+// RunScenarioTraced executes one scenario with a telemetry handle
+// (NewTelemetry) attached to the node session: the report additionally
+// carries the merged per-request trace (Report.Events, when tr.Tracer
+// is set) and the tick-metric series (Report.Samples, when tr.Recorder
+// is set and the scenario has a scaler). The simulated stream is
+// identical to RunScenario's — telemetry only observes it.
+func (s *System) RunScenarioTraced(sc *Scenario, tr *Telemetry) (*ScenarioReport, error) {
+	srv := serving.NewServer(s.opt.NPU, s.opt.Sched, s.gen)
+	return scenario.RunWithTrace(srv, sc, tr)
 }

@@ -1,0 +1,49 @@
+package prema
+
+// telemetry.go is the observability surface of the facade: a Telemetry
+// handle (internal/telemetry's tracer + tick recorder pair) attaches to
+// node sessions (NodeSessionConfig.Trace), control planes
+// (ControlPlaneConfig.Trace) and scenario runs (RunScenarioTraced).
+// Both halves run on the virtual stream clock, so telemetry output is
+// as deterministic as the run it observes: the same seed and scenario
+// replay a byte-identical event stream and metric series, and a session
+// with no handle attached runs byte-identically to one predating the
+// telemetry layer.
+
+import "repro/internal/telemetry"
+
+type (
+	// Telemetry is the observability handle: an optional per-request
+	// event Tracer and an optional tick-sampled metrics Recorder. Either
+	// half may be nil to enable just the other.
+	Telemetry = telemetry.Trace
+	// TraceEvent is one per-request lifecycle event (submit, route,
+	// stretch, reclaim, complete) on the virtual clock.
+	TraceEvent = telemetry.Event
+	// TraceSummary is the derived per-request trace digest: completion
+	// counts, latency decompositions and the worst requests.
+	TraceSummary = telemetry.TraceSummary
+	// RequestTrace is one request's per-trace view inside a summary.
+	RequestTrace = telemetry.RequestTrace
+	// TickSample is one autoscale-tick fleet metrics sample: per-NPU and
+	// per-tier gauges plus fleet counters.
+	TickSample = telemetry.TickSample
+)
+
+// NewTelemetry builds a telemetry handle with both halves attached at
+// the default ring capacities.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// SummarizeTrace derives the trace digest from a merged event stream,
+// keeping the topK worst-latency requests (topK <= 0 keeps 5).
+func SummarizeTrace(events []TraceEvent, topK int) TraceSummary {
+	return telemetry.Summarize(events, topK)
+}
+
+// EncodeTraceJSONL renders a merged event stream and a tick-sample
+// series as sorted JSONL — one JSON object per line, events and tick
+// samples interleaved by cycle (the premasim -trace-jsonl format). The
+// output is byte-deterministic for a deterministic run.
+func EncodeTraceJSONL(events []TraceEvent, ticks []TickSample) ([]byte, error) {
+	return telemetry.EncodeJSONL(events, ticks)
+}
